@@ -1,0 +1,20 @@
+"""Table III — NYUv2 scene understanding (seg / depth / normals, 9 metrics + ΔM)."""
+
+from repro.experiments import table3_nyuv2 as experiment
+
+
+def test_table3_nyuv2(benchmark, emit, preset):
+    result = benchmark.pedantic(
+        lambda: experiment.run(preset=preset), rounds=1, iterations=1
+    )
+    emit("table3", experiment.format_result(result))
+    for method, metrics in result["metrics"].items():
+        assert 0.0 <= metrics["segmentation"]["miou"] <= 1.0, method
+        assert metrics["depth"]["abs_err"] >= 0.0, method
+        assert 0.0 <= metrics["normal"]["within_30"] <= 1.0, method
+        # Ordering invariant of the within-t° columns.
+        assert (
+            metrics["normal"]["within_11.25"]
+            <= metrics["normal"]["within_22.5"]
+            <= metrics["normal"]["within_30"]
+        ), method

@@ -1,0 +1,14 @@
+"""Table IV — CityScapes 2-task scene understanding (seg + depth + ΔM)."""
+
+from repro.experiments import table4_cityscapes as experiment
+
+
+def test_table4_cityscapes(benchmark, emit, preset):
+    result = benchmark.pedantic(
+        lambda: experiment.run(preset=preset), rounds=1, iterations=1
+    )
+    emit("table4", experiment.format_result(result))
+    # Paper shape: joint training helps on this strongly-related task pair —
+    # the best balancing method lands a positive ΔM over STL.
+    deltas = {m: d for m, d in result["delta_m"].items() if m != "stl"}
+    assert max(deltas.values()) > 0.0

@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see DESIGN.md's
+experiment index), prints the rows, and writes them to
+``benchmarks/results/<id>.txt``.
+
+Preset selection: set ``REPRO_BENCH_PRESET=full`` for the larger
+configurations (minutes per table); the default ``quick`` preset keeps the
+whole harness in the ten-minute range while preserving the qualitative
+shape of every result.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "quick")
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Fixture returning a writer that prints a result and persists it."""
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

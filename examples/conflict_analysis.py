@@ -1,0 +1,54 @@
+"""Reproduce the paper's Section III conflict investigation (Fig. 1 & 2).
+
+1. Shows task A's RMSE degrading as more (conflicting) genres join the
+   joint run — the paper's Fig. 1 motivation.
+2. Sweeps the inter-task relatedness knob and plots (as text) the positive
+   correlation between Gradient Conflict Degree and Task Conflict
+   Intensity — the paper's Fig. 2 evidence that gradient conflict *is*
+   task conflict.
+3. Verifies Theorem 1's bound on actual MoCoGrad calibrated gradients.
+
+    python examples/conflict_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import task_interference_curve, tci_gcd_correlation
+from repro.core import MoCoGrad, calibrated_gradient_bound, check_theorem1
+from repro.experiments import ascii_scatter
+
+
+def main() -> None:
+    print("=== Fig. 1: task A RMSE vs number of joint tasks (HPS) ===")
+    curve = task_interference_curve(
+        records_per_genre=250, relatedness=0.05, epochs=5, seed=0
+    )
+    for task_set, rmse in zip(curve["task_sets"], curve["rmse"]):
+        bar = "#" * int(rmse * 20)
+        print(f"  {task_set:<30s} RMSE {rmse:.4f}  {bar}")
+    print(
+        "  → joint training with unrelated genres degrades task A "
+        f"({curve['rmse'][0]:.3f} → {curve['rmse'][-1]:.3f})"
+    )
+
+    print("\n=== Fig. 2: TCI vs GCD across conflict levels ===")
+    corr = tci_gcd_correlation(num_samples=250, epochs=10, seeds=2)
+    print(ascii_scatter(corr["gcd"], corr["tci"], x_label="mean GCD", y_label="TCI"))
+    print(f"  Pearson r = {corr['pearson_r']:.3f} (paper finds a strong positive correlation)")
+
+    print("\n=== Theorem 1: calibrated gradient bound ===")
+    rng = np.random.default_rng(0)
+    balancer = MoCoGrad(calibration=0.5, seed=0)
+    balancer.reset(3)
+    worst_ratio = 0.0
+    for _ in range(100):
+        grads = rng.normal(size=(3, 50))
+        calibrated = balancer.calibrate(grads)
+        assert check_theorem1(calibrated, grads, 0.5)
+        bound = calibrated_gradient_bound(3, 0.5, np.linalg.norm(grads, axis=1).max())
+        worst_ratio = max(worst_ratio, np.linalg.norm(calibrated.sum(0)) / bound)
+    print(f"  ‖ĝ‖ / K(1+λ)G over 100 random steps: worst ratio {worst_ratio:.3f} ≤ 1 ✓")
+
+
+if __name__ == "__main__":
+    main()

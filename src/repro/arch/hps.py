@@ -1,0 +1,67 @@
+"""Hard-parameter sharing (HPS) — the paper's primary architecture.
+
+A single shared encoder feeds per-task heads:
+
+    z = F_sh(x; θ_sh),    ŷ_k = F_k(z; θ_k).
+
+All tasks read the identical intermediate feature ``z``, which is exactly
+the setting where task-gradient conflicts arise on θ_sh (paper Fig. 3 left).
+"""
+
+from __future__ import annotations
+
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+from .base import MTLModel
+
+__all__ = ["HardParameterSharing"]
+
+
+class HardParameterSharing(MTLModel):
+    """Shared encoder + per-task heads."""
+
+    def __init__(self, encoder: Module, heads: dict[str, Module]) -> None:
+        super().__init__(list(heads))
+        self.encoder = encoder
+        self.heads = heads
+
+    def named_parameters(self, prefix: str = ""):
+        pre = f"{prefix}." if prefix else ""
+        yield from self.encoder.named_parameters(f"{pre}encoder")
+        for task, head in self.heads.items():
+            yield from head.named_parameters(f"{pre}heads.{task}")
+
+    def modules(self):
+        yield self
+        yield from self.encoder.modules()
+        for head in self.heads.values():
+            yield from head.modules()
+
+    # ------------------------------------------------------------------
+    def shared_features(self, x) -> Tensor:
+        return self.encoder(x)
+
+    def forward(self, x, task: str) -> Tensor:
+        self._check_task(task)
+        return self.heads[task](self.encoder(x))
+
+    def forward_all(self, x) -> dict[str, Tensor]:
+        features = self.encoder(x)
+        return {task: self.heads[task](features) for task in self.task_names}
+
+    def forward_heads(self, features: Tensor) -> dict[str, Tensor]:
+        """Apply all heads to a precomputed representation.
+
+        Used by the trainer's feature-level gradient mode: the caller
+        detaches ``features`` so per-task backward stops at the
+        representation.
+        """
+        return {task: self.heads[task](features) for task in self.task_names}
+
+    # ------------------------------------------------------------------
+    def shared_parameters(self) -> list[Parameter]:
+        return self.encoder.parameters()
+
+    def task_specific_parameters(self, task: str) -> list[Parameter]:
+        self._check_task(task)
+        return self.heads[task].parameters()

@@ -1,0 +1,118 @@
+"""MMoE — Multi-gate Mixture-of-Experts (Ma et al., KDD 2018).
+
+A bank of shared experts is mixed per task by a softmax gate:
+
+    y_k = F_k( Σ_e softmax(W_k · pool(x))_e · E_e(x) ).
+
+Experts are shared parameters (their gradients conflict across tasks);
+gates and heads are task-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn.functional import softmax
+from ..nn.layers import Linear
+from ..nn.module import Module, ModuleList, Parameter
+from ..nn.tensor import Tensor, stack
+from .base import MTLModel
+
+__all__ = ["MMoE"]
+
+
+def _pool_input(x) -> Tensor:
+    """Flatten arbitrary inputs to a ``(batch, features)`` gate input."""
+    if not isinstance(x, Tensor):
+        x = Tensor(np.asarray(x, dtype=np.float64))
+    if x.ndim == 2:
+        return x
+    if x.ndim == 4:  # images: global average pool
+        return x.mean(axis=(2, 3))
+    if x.ndim == 3:  # sequences: mean over time
+        return x.mean(axis=1)
+    raise ValueError(f"cannot derive gate input from shape {x.shape}")
+
+
+class MMoE(MTLModel):
+    """Multi-gate mixture of experts.
+
+    Parameters
+    ----------
+    expert_factory:
+        Builds one expert module (input → representation); called
+        ``num_experts`` times.
+    heads:
+        Task name → head module over the mixed representation.
+    gate_in_features:
+        Dimension of the pooled gate input (for tabular data, the raw
+        feature width).
+    gate_input_fn:
+        Optional callable mapping the raw batch input to the gate input
+        tensor; defaults to :func:`_pool_input` (works for dense arrays).
+        Datasets with integer/tuple inputs (click logs, graphs) must supply
+        one.
+    """
+
+    def __init__(
+        self,
+        expert_factory: Callable[[], Module],
+        num_experts: int,
+        heads: dict[str, Module],
+        gate_in_features: int,
+        rng: np.random.Generator,
+        gate_input_fn: Callable[[object], Tensor] | None = None,
+    ) -> None:
+        super().__init__(list(heads))
+        if num_experts < 1:
+            raise ValueError("need at least one expert")
+        self.experts = ModuleList([expert_factory() for _ in range(num_experts)])
+        self.heads = heads
+        self.gates = {
+            task: Linear(gate_in_features, num_experts, rng) for task in self.task_names
+        }
+        self.gate_input_fn = gate_input_fn or _pool_input
+
+    def named_parameters(self, prefix: str = ""):
+        pre = f"{prefix}." if prefix else ""
+        yield from self.experts.named_parameters(f"{pre}experts")
+        for task in self.task_names:
+            yield from self.gates[task].named_parameters(f"{pre}gates.{task}")
+            yield from self.heads[task].named_parameters(f"{pre}heads.{task}")
+
+    def modules(self):
+        yield self
+        yield from self.experts.modules()
+        for task in self.task_names:
+            yield from self.gates[task].modules()
+            yield from self.heads[task].modules()
+
+    # ------------------------------------------------------------------
+    def _mix(self, x, task: str, expert_outputs: list[Tensor]) -> Tensor:
+        gate_logits = self.gates[task](self.gate_input_fn(x))
+        gate = softmax(gate_logits, axis=-1)  # (batch, E)
+        stacked = stack(expert_outputs, axis=1)  # (batch, E, feat...)
+        weights = gate.reshape(gate.shape + (1,) * (stacked.ndim - 2))
+        return (stacked * weights).sum(axis=1)
+
+    def forward(self, x, task: str) -> Tensor:
+        self._check_task(task)
+        expert_outputs = [expert(x) for expert in self.experts]
+        return self.heads[task](self._mix(x, task, expert_outputs))
+
+    def forward_all(self, x) -> dict[str, Tensor]:
+        expert_outputs = [expert(x) for expert in self.experts]
+        return {
+            task: self.heads[task](self._mix(x, task, expert_outputs))
+            for task in self.task_names
+        }
+
+    # ------------------------------------------------------------------
+    def shared_parameters(self) -> list[Parameter]:
+        return self.experts.parameters()
+
+    def task_specific_parameters(self, task: str) -> list[Parameter]:
+        self._check_task(task)
+        return self.gates[task].parameters() + self.heads[task].parameters()

@@ -1,0 +1,54 @@
+"""DWA — Dynamic Weight Average (Liu et al., CVPR 2019).
+
+Task weights follow the rate of loss descent:
+
+    w_k(t) = K · exp(r_k(t) / T) / Σ_j exp(r_j(t) / T),
+    r_k(t) = L_k(t−1) / L_k(t−2)
+
+so tasks whose loss recently stalled get up-weighted.  ``T`` is the softmax
+temperature (the original paper uses 2).  For the first two steps, before
+two loss snapshots exist, all weights are 1 (equal weighting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["DWA"]
+
+
+@register_balancer("dwa")
+class DWA(GradientBalancer):
+    """Dynamic weight average over task losses."""
+
+    def __init__(self, temperature: float = 2.0, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self._loss_history: list[np.ndarray] = []
+
+    def reset(self, num_tasks: int) -> None:
+        super().reset(num_tasks)
+        self._loss_history = []
+
+    def weights(self) -> np.ndarray:
+        """Current task weights (sums to K)."""
+        if len(self._loss_history) < 2:
+            return np.ones(self.num_tasks)
+        previous, before = self._loss_history[-1], self._loss_history[-2]
+        rate = previous / np.maximum(before, 1e-12)
+        logits = rate / self.temperature
+        logits -= logits.max()  # numerical stability
+        exp = np.exp(logits)
+        return self.num_tasks * exp / exp.sum()
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, losses = self._check_inputs(grads, losses)
+        weights = self.weights()
+        self._loss_history.append(losses.copy())
+        if len(self._loss_history) > 2:
+            self._loss_history.pop(0)
+        return weights @ grads

@@ -1,0 +1,24 @@
+"""Equal weighting — plain joint training (the unmodified MTL baseline).
+
+Summing per-task gradients is exactly what back-propagating the summed loss
+of Eq. (1) does.  Every gradient-manipulation method in the paper is a
+modification of this update; it is also the "MTL" model used when measuring
+TCI in Section III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["EqualWeighting"]
+
+
+@register_balancer("equal")
+class EqualWeighting(GradientBalancer):
+    """``g = Σ_k g_k`` — vanilla multi-task gradient descent."""
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, _ = self._check_inputs(grads, losses)
+        return grads.sum(axis=0)

@@ -1,0 +1,50 @@
+"""GradDrop — Gradient Sign Dropout (Chen et al., NeurIPS 2020).
+
+Per coordinate, compute the positive-sign purity
+
+    P = 0.5 · (1 + Σ_k g_k / Σ_k |g_k|) ∈ [0, 1]
+
+then sample one sign per coordinate: with probability P keep only positive
+task contributions, otherwise keep only negative ones.  Coordinates where
+all tasks agree are untouched; contested coordinates are resolved
+probabilistically in proportion to the gradient mass on each side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["GradDrop"]
+
+_EPS = 1e-12
+
+
+@register_balancer("graddrop")
+class GradDrop(GradientBalancer):
+    """Probabilistic sign-consistency masking of task gradients.
+
+    ``leak`` ∈ [0, 1] blends the masked gradient with the raw sum
+    (0 = pure GradDrop, 1 = equal weighting), matching the leak parameter
+    of the original paper.
+    """
+
+    def __init__(self, leak: float = 0.0, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 <= leak <= 1.0:
+            raise ValueError("leak must be in [0, 1]")
+        self.leak = leak
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, _ = self._check_inputs(grads, losses)
+        total = grads.sum(axis=0)
+        mass = np.abs(grads).sum(axis=0)
+        purity = 0.5 * (1.0 + total / np.maximum(mass, _EPS))
+        keep_positive = self.rng.random(grads.shape[1]) < purity
+        positive_part = np.where(grads > 0, grads, 0.0).sum(axis=0)
+        negative_part = np.where(grads < 0, grads, 0.0).sum(axis=0)
+        masked = np.where(keep_positive, positive_part, negative_part)
+        if self.leak > 0.0:
+            masked = self.leak * total + (1.0 - self.leak) * masked
+        return masked

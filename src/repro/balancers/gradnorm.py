@@ -1,0 +1,72 @@
+"""GradNorm — Gradient Normalization (Chen et al., ICML 2018).
+
+Cited by the paper as one of the gradient-based MTL family ([44]); included
+here as an extension baseline beyond the ten compared methods.
+
+GradNorm learns positive loss weights ``w_k`` so every task's *weighted*
+gradient norm tracks a common target that favours slower-training tasks:
+
+    target_k = mean_norm · r_k^α,
+    r_k = (L_k / L_k(0)) / mean_j(L_j / L_j(0))   (inverse training rate)
+
+The weights descend the L1 gap |‖w_k g_k‖ − target_k| and are renormalized
+to sum to K each step (the original paper's protocol).  ``α`` controls the
+strength of the asymmetry; the original paper uses α ∈ [0.12, 3].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["GradNorm"]
+
+_EPS = 1e-12
+
+
+@register_balancer("gradnorm")
+class GradNorm(GradientBalancer):
+    """Adaptive loss weighting via gradient-norm balancing."""
+
+    def __init__(self, alpha: float = 1.5, weight_lr: float = 0.025, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
+        if alpha < 0:
+            raise ValueError("alpha must be ≥ 0")
+        if weight_lr <= 0:
+            raise ValueError("weight_lr must be positive")
+        self.alpha = alpha
+        self.weight_lr = weight_lr
+        self._weights: np.ndarray | None = None
+        self._initial_losses: np.ndarray | None = None
+
+    def reset(self, num_tasks: int) -> None:
+        super().reset(num_tasks)
+        self._weights = np.ones(num_tasks)
+        self._initial_losses = None
+
+    @property
+    def weights(self) -> np.ndarray | None:
+        """Current loss weights (sum to K)."""
+        return self._weights
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, losses = self._check_inputs(grads, losses)
+        num_tasks = grads.shape[0]
+        if self._weights is None or self._weights.size != num_tasks:
+            self._weights = np.ones(num_tasks)
+        if self._initial_losses is None:
+            self._initial_losses = np.maximum(losses.copy(), _EPS)
+
+        norms = np.linalg.norm(grads, axis=1)
+        weighted_norms = self._weights * norms
+        mean_norm = weighted_norms.mean()
+        progress = losses / self._initial_losses
+        inverse_rate = progress / max(progress.mean(), _EPS)
+        targets = mean_norm * inverse_rate**self.alpha
+        # ∂/∂w_k |w_k‖g_k‖ − target_k| = sign(…)·‖g_k‖ (targets detached).
+        weight_grad = np.sign(weighted_norms - targets) * norms
+        self._weights = self._weights - self.weight_lr * weight_grad
+        self._weights = np.maximum(self._weights, _EPS)
+        self._weights *= num_tasks / self._weights.sum()
+        return self._weights @ grads

@@ -1,0 +1,87 @@
+"""GradVac — Gradient Vaccine (Wang et al., ICLR 2021).
+
+Rather than only fixing *negative* cosine similarity (PCGrad), GradVac sets
+an *adaptive* similarity target φ̂_ij per task pair, tracked as an EMA of the
+observed similarity.  Whenever the current similarity falls below the
+target, g_i is pulled toward g_j with the Law-of-Sines coefficient (the
+MoCoGrad paper's Eq. 7):
+
+    α = ‖g_i‖ (φ̂ √(1−φ²) − φ √(1−φ̂²)) / (‖g_j‖ √(1−φ̂²)),
+    g_i' = g_i + α g_j
+
+which makes the manipulated gradient's similarity to g_j exactly φ̂.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+from ..core.conflict import cosine_similarity
+
+__all__ = ["GradVac", "gradvac_coefficient"]
+
+_EPS = 1e-12
+
+
+def gradvac_coefficient(
+    norm_i: float, norm_j: float, cos_current: float, cos_target: float
+) -> float:
+    """The α of Eq. (7) aligning g_i to similarity ``cos_target`` with g_j."""
+    sin_target = np.sqrt(max(1.0 - cos_target**2, 0.0))
+    if sin_target < _EPS or norm_j < _EPS:
+        return 0.0
+    sin_current = np.sqrt(max(1.0 - cos_current**2, 0.0))
+    numerator = norm_i * (cos_target * sin_current - cos_current * sin_target)
+    return float(numerator / (norm_j * sin_target))
+
+
+@register_balancer("gradvac")
+class GradVac(GradientBalancer):
+    """Adaptive gradient-similarity vaccination.
+
+    ``ema_beta`` is the update rate of the per-pair similarity targets
+    (the original paper's β; it uses 1e-2 for stability, larger values adapt
+    faster on short synthetic runs).
+    """
+
+    def __init__(self, ema_beta: float = 0.01, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 < ema_beta <= 1.0:
+            raise ValueError("ema_beta must be in (0, 1]")
+        self.ema_beta = ema_beta
+        self._targets: np.ndarray | None = None
+
+    def reset(self, num_tasks: int) -> None:
+        super().reset(num_tasks)
+        self._targets = np.zeros((num_tasks, num_tasks))
+
+    @property
+    def similarity_targets(self) -> np.ndarray | None:
+        """Current per-pair EMA similarity targets φ̂ (``(K, K)``)."""
+        return self._targets
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, _ = self._check_inputs(grads, losses)
+        num_tasks = grads.shape[0]
+        if self._targets is None or self._targets.shape[0] != num_tasks:
+            self._targets = np.zeros((num_tasks, num_tasks))
+        adjusted = grads.copy()
+        for i in range(num_tasks):
+            partners = [j for j in range(num_tasks) if j != i]
+            self.rng.shuffle(partners)
+            for j in partners:
+                cos_current = cosine_similarity(adjusted[i], grads[j])
+                cos_target = self._targets[i, j]
+                if cos_current < cos_target:
+                    alpha = gradvac_coefficient(
+                        float(np.linalg.norm(adjusted[i])),
+                        float(np.linalg.norm(grads[j])),
+                        cos_current,
+                        cos_target,
+                    )
+                    adjusted[i] = adjusted[i] + alpha * grads[j]
+                self._targets[i, j] = (
+                    1.0 - self.ema_beta
+                ) * cos_target + self.ema_beta * cos_current
+        return adjusted.sum(axis=0)

@@ -1,0 +1,92 @@
+"""IMTL — Impartial Multi-Task Learning (Liu et al., ICLR 2021), IMTL-G.
+
+Finds combination weights α (Σα = 1) such that the aggregated gradient has
+*equal projections* onto every task's unit gradient:
+
+    g = Σ_k α_k g_k   with   gᵀ u_i = gᵀ u_j  ∀ i, j,   u_k = g_k/‖g_k‖.
+
+Closed form (original paper, Eq. 6): with D the matrix of rows (g₁ − g_k)
+and U the matrix of rows (u₁ − u_k) for k = 2..K,
+
+    α_{2:K} = g₁ Uᵀ (D Uᵀ)⁻¹,     α₁ = 1 − Σ_{k≥2} α_k.
+
+The loss-balance part (IMTL-L) scales each task loss by a learned e^{s_k};
+here it is an optional exponentiated-gradient update on s maintained inside
+the balancer (``use_loss_balance=True`` gives the hybrid IMTL the paper's
+experiments use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["IMTL"]
+
+_EPS = 1e-12
+
+
+@register_balancer("imtl")
+class IMTL(GradientBalancer):
+    """Impartial gradient (and optional loss) balancing."""
+
+    def __init__(
+        self,
+        use_loss_balance: bool = True,
+        loss_lr: float = 0.1,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.use_loss_balance = use_loss_balance
+        self.loss_lr = loss_lr
+        self._log_scale: np.ndarray | None = None
+
+    def reset(self, num_tasks: int) -> None:
+        super().reset(num_tasks)
+        self._log_scale = np.zeros(num_tasks)
+
+    def loss_scales(self) -> np.ndarray:
+        """Current IMTL-L loss scales ``e^{s_k}``."""
+        if self._log_scale is None:
+            raise RuntimeError("balancer not reset yet")
+        return np.exp(self._log_scale)
+
+    def _imtl_g_weights(self, grads: np.ndarray) -> np.ndarray:
+        num_tasks = grads.shape[0]
+        if num_tasks == 1:
+            return np.ones(1)
+        norms = np.maximum(np.linalg.norm(grads, axis=1), _EPS)
+        units = grads / norms[:, None]
+        d_matrix = grads[0][None, :] - grads[1:]  # (K-1, d), rows g₁−g_k
+        u_matrix = units[0][None, :] - units[1:]  # (K-1, d), rows u₁−u_k
+        # Equal-projection condition: Σ_k α_k (g₁−g_k)·(u₁−u_j) = g₁·(u₁−u_j)
+        # for j = 2..K ⇒ (U Dᵀ) α_rest = U g₁.
+        lhs = u_matrix @ d_matrix.T  # (K-1, K-1)
+        rhs = u_matrix @ grads[0]  # (K-1,)
+        try:
+            alpha_rest = np.linalg.solve(lhs, rhs)
+        except np.linalg.LinAlgError:
+            alpha_rest, *_ = np.linalg.lstsq(lhs, rhs, rcond=None)
+        alpha = np.empty(num_tasks)
+        alpha[1:] = alpha_rest
+        alpha[0] = 1.0 - alpha_rest.sum()
+        # Degenerate gradient sets (zero / duplicated directions) make the
+        # system singular; fall back to impartial uniform weights.
+        if not np.all(np.isfinite(alpha)) or np.abs(alpha).max() > 1e6:
+            alpha = np.full(num_tasks, 1.0 / num_tasks)
+        return alpha
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, losses = self._check_inputs(grads, losses)
+        if self.use_loss_balance:
+            if self._log_scale is None or self._log_scale.size != grads.shape[0]:
+                self._log_scale = np.zeros(grads.shape[0])
+            scales = np.exp(self._log_scale)
+            # d/ds_k of (e^{s_k} L_k − s_k) = e^{s_k} L_k − 1: push every
+            # scaled loss toward 1 so all tasks live on a comparable scale.
+            scale_grad = scales * losses - 1.0
+            self._log_scale -= self.loss_lr * scale_grad
+            grads = grads * scales[:, None]
+        alpha = self._imtl_g_weights(grads)
+        return alpha @ grads

@@ -1,0 +1,50 @@
+"""PCGrad — Projecting Conflicting Gradients (Yu et al., NeurIPS 2020).
+
+When task i's gradient conflicts with task j's (negative cosine), PCGrad
+removes the conflicting component by projecting g_i onto the normal plane of
+g_j (paper Eq. 5):
+
+    g_i' = g_i − (g_i · g_j / ‖g_j‖²) g_j
+
+Each task's gradient is "surgered" against all other tasks in random order,
+then the surgered gradients are summed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["PCGrad", "project_conflicting"]
+
+_EPS = 1e-12
+
+
+def project_conflicting(grad_i: np.ndarray, grad_j: np.ndarray) -> np.ndarray:
+    """Project ``grad_i`` onto the normal plane of ``grad_j`` if they conflict."""
+    dot = float(np.dot(grad_i, grad_j))
+    if dot >= 0.0:
+        return grad_i
+    norm_sq = float(np.dot(grad_j, grad_j))
+    if norm_sq < _EPS:
+        return grad_i
+    return grad_i - (dot / norm_sq) * grad_j
+
+
+@register_balancer("pcgrad")
+class PCGrad(GradientBalancer):
+    """Gradient surgery via projection onto normal planes."""
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, _ = self._check_inputs(grads, losses)
+        num_tasks = grads.shape[0]
+        surgered = grads.copy()
+        for i in range(num_tasks):
+            partners = [j for j in range(num_tasks) if j != i]
+            self.rng.shuffle(partners)
+            for j in partners:
+                # Project the running surgered gradient against the *raw*
+                # partner gradient, as in the reference implementation.
+                surgered[i] = project_conflicting(surgered[i], grads[j])
+        return surgered.sum(axis=0)

@@ -1,0 +1,28 @@
+"""RLW — Random Loss Weighting (Lin et al., TMLR 2022).
+
+At every step, sample task weights by drawing logits from a standard normal
+and passing them through a softmax.  Surprisingly competitive, and used by
+the paper as a "litmus test" baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["RLW"]
+
+
+@register_balancer("rlw")
+class RLW(GradientBalancer):
+    """Random loss weighting with normal-softmax weights."""
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, _ = self._check_inputs(grads, losses)
+        logits = self.rng.standard_normal(grads.shape[0])
+        logits -= logits.max()
+        weights = np.exp(logits)
+        weights /= weights.sum()
+        # Scale by K so the expected step magnitude matches summed losses.
+        return (grads.shape[0] * weights) @ grads

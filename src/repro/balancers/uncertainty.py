@@ -1,0 +1,63 @@
+"""Uncertainty weighting (Kendall, Gal & Cipolla, CVPR 2018).
+
+The paper cites this ([38]) among the loss-balancing family.  Each task's
+loss is weighted by a learned homoscedastic-uncertainty term:
+
+    L = Σ_k ( exp(−s_k) · L_k + s_k / 2 ),   s_k = log σ_k².
+
+In balancer form the state ``s`` descends its own closed-form gradient
+(∂L/∂s_k = −exp(−s_k) L_k + 1/2) and the combined update is the
+``exp(−s_k)``-weighted gradient sum — tasks with noisy (large) losses get
+automatically down-weighted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.balancer import GradientBalancer, register_balancer
+
+__all__ = ["UncertaintyWeighting"]
+
+
+@register_balancer("uncertainty")
+class UncertaintyWeighting(GradientBalancer):
+    """Homoscedastic-uncertainty loss weighting as a gradient balancer."""
+
+    def __init__(self, s_lr: float = 0.025, clamp: float = 10.0, seed: int | None = None) -> None:
+        super().__init__(seed=seed)
+        if s_lr <= 0:
+            raise ValueError("s_lr must be positive")
+        if clamp <= 0:
+            raise ValueError("clamp must be positive")
+        self.s_lr = s_lr
+        self.clamp = clamp
+        self._log_variance: np.ndarray | None = None
+
+    def reset(self, num_tasks: int) -> None:
+        super().reset(num_tasks)
+        self._log_variance = np.zeros(num_tasks)
+
+    @property
+    def log_variance(self) -> np.ndarray | None:
+        """The learned s = log σ² per task."""
+        return self._log_variance
+
+    def weights(self) -> np.ndarray:
+        """Current task weights exp(−s)."""
+        if self._log_variance is None:
+            raise RuntimeError("balancer not reset yet")
+        return np.exp(-self._log_variance)
+
+    def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
+        grads, losses = self._check_inputs(grads, losses)
+        num_tasks = grads.shape[0]
+        if self._log_variance is None or self._log_variance.size != num_tasks:
+            self._log_variance = np.zeros(num_tasks)
+        weights = np.exp(-self._log_variance)
+        # Closed-form descent on s: ∂/∂s_k [e^{−s_k} L_k + s_k/2].
+        s_grad = -weights * losses + 0.5
+        self._log_variance = np.clip(
+            self._log_variance - self.s_lr * s_grad, -self.clamp, self.clamp
+        )
+        return weights @ grads

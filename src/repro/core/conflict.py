@@ -1,0 +1,106 @@
+"""Task-conflict diagnostics from Section III of the paper.
+
+Implements
+
+- **Gradient Conflict Degree** (Definition 3):
+  ``GCD(g_i, g_j) = 1 − cos φ_ij``; a gradient conflict occurs iff GCD > 1
+  (i.e. the cosine similarity is negative).
+- **Task Conflict Intensity** (Definition 2):
+  ``TCI(T^k, F) = R_k(F(T^1..T^K)) − R_k(F(T^k))`` — the expected-risk gap
+  between the jointly trained model and the single-task model.  For
+  lower-is-better metrics (losses, RMSE) a *positive* TCI means joint
+  training hurt the task, i.e. task conflict occurred.
+
+These are the quantities behind Fig. 1 and Fig. 2 and behind MoCoGrad's
+conflict test (Algorithm 1 line 9).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "cosine_similarity",
+    "gradient_conflict_degree",
+    "is_conflicting",
+    "pairwise_gcd",
+    "conflict_fraction",
+    "task_conflict_intensity",
+    "tci_profile",
+]
+
+_EPS = 1e-12
+
+
+def cosine_similarity(grad_i: np.ndarray, grad_j: np.ndarray) -> float:
+    """Cosine of the angle between two gradient vectors.
+
+    Returns 0.0 when either vector is (numerically) zero, so a vanished
+    gradient neither counts as conflicting nor as aligned.
+    """
+    grad_i = np.asarray(grad_i, dtype=np.float64).reshape(-1)
+    grad_j = np.asarray(grad_j, dtype=np.float64).reshape(-1)
+    norm_i = np.linalg.norm(grad_i)
+    norm_j = np.linalg.norm(grad_j)
+    if norm_i < _EPS or norm_j < _EPS:
+        return 0.0
+    return float(np.dot(grad_i, grad_j) / (norm_i * norm_j))
+
+
+def gradient_conflict_degree(grad_i: np.ndarray, grad_j: np.ndarray) -> float:
+    """GCD (Definition 3): ``1 − cos φ_ij`` ∈ [0, 2]."""
+    return 1.0 - cosine_similarity(grad_i, grad_j)
+
+
+def is_conflicting(grad_i: np.ndarray, grad_j: np.ndarray) -> bool:
+    """Whether the two task gradients conflict (GCD > 1 ⇔ cos < 0)."""
+    return gradient_conflict_degree(grad_i, grad_j) > 1.0
+
+
+def pairwise_gcd(grads: np.ndarray) -> np.ndarray:
+    """GCD matrix over all task pairs of a ``(K, d)`` gradient matrix.
+
+    The diagonal is 0 (a task never conflicts with itself).
+    """
+    grads = np.asarray(grads, dtype=np.float64)
+    norms = np.linalg.norm(grads, axis=1)
+    safe = np.where(norms < _EPS, 1.0, norms)
+    unit = grads / safe[:, None]
+    cos = unit @ unit.T
+    zero_mask = norms < _EPS
+    cos[zero_mask, :] = 0.0
+    cos[:, zero_mask] = 0.0
+    np.fill_diagonal(cos, 1.0)
+    return 1.0 - cos
+
+
+def conflict_fraction(grads: np.ndarray) -> float:
+    """Fraction of distinct task pairs whose gradients conflict (GCD > 1)."""
+    gcd = pairwise_gcd(grads)
+    num_tasks = gcd.shape[0]
+    if num_tasks < 2:
+        return 0.0
+    upper = gcd[np.triu_indices(num_tasks, k=1)]
+    return float(np.mean(upper > 1.0))
+
+
+def task_conflict_intensity(joint_risk: float, single_risk: float) -> float:
+    """TCI (Definition 2): joint-training risk minus single-task risk.
+
+    Both risks must be measured with the same lower-is-better objective
+    (e.g. RMSE on the task's test split).  Positive ⇒ conflict occurred.
+    """
+    return float(joint_risk) - float(single_risk)
+
+
+def tci_profile(
+    joint_risks: Sequence[float], single_risks: Sequence[float]
+) -> np.ndarray:
+    """Per-task TCI vector for K tasks evaluated jointly vs singly."""
+    joint = np.asarray(joint_risks, dtype=np.float64)
+    single = np.asarray(single_risks, dtype=np.float64)
+    if joint.shape != single.shape:
+        raise ValueError("joint and single risk vectors must have the same length")
+    return joint - single

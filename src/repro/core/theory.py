@@ -1,0 +1,148 @@
+"""Theoretical guarantees of MoCoGrad (paper §IV-C) as executable checks.
+
+The paper proves three results in the convex setting:
+
+- **Theorem 1** (bounded calibrated gradients): with ‖g_k‖ ≤ G for all
+  tasks, the calibrated aggregate satisfies ‖ĝ‖ ≤ K(1+λ)G < 2KG.
+- **Theorem 2** (convergence): under L-smooth convex losses and step size
+  μ ≤ 1/L the sequence of losses is non-increasing and converges.
+- **Theorem 3 / Corollary 1** (regret): with decaying schedules
+  μ_t = μ/t^p, λ_t = λ/t^p the regret satisfies R(T)/T → 0 and is
+  O(T^max(p, 1−p, 1−3p)); p = 1/2 gives the usual O(√T) regret.
+
+This module provides the bound formulas plus helpers that evaluate them
+against actual trajectories, used by the property-based tests and by
+``examples/conflict_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "calibrated_gradient_bound",
+    "check_theorem1",
+    "regret",
+    "regret_bound",
+    "corollary1_rate_exponent",
+    "decaying_schedule",
+    "run_convex_descent",
+]
+
+
+def calibrated_gradient_bound(num_tasks: int, calibration: float, grad_bound: float) -> float:
+    """Theorem 1's bound: ``K (1 + λ) G`` (itself < 2KG for λ ≤ 1)."""
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be ≥ 1")
+    if not 0.0 < calibration <= 1.0:
+        raise ValueError("calibration λ must be in (0, 1]")
+    if grad_bound < 0:
+        raise ValueError("grad_bound G must be ≥ 0")
+    return num_tasks * (1.0 + calibration) * grad_bound
+
+
+def check_theorem1(
+    calibrated: np.ndarray, raw: np.ndarray, calibration: float
+) -> bool:
+    """Verify Theorem 1 on actual gradients produced by MoCoGrad.
+
+    ``raw`` and ``calibrated`` are ``(K, d)`` matrices from one step.  Uses
+    ``G = max_k ‖g_k‖`` as the empirical gradient bound.
+    """
+    raw = np.asarray(raw, dtype=np.float64)
+    calibrated = np.asarray(calibrated, dtype=np.float64)
+    grad_bound = float(np.max(np.linalg.norm(raw, axis=1)))
+    aggregate = float(np.linalg.norm(calibrated.sum(axis=0)))
+    bound = calibrated_gradient_bound(raw.shape[0], calibration, grad_bound)
+    return aggregate <= bound + 1e-9
+
+
+def regret(losses_along_path: Sequence[float], optimal_losses: Sequence[float]) -> float:
+    """Regret Eq. (16): ``Σ_t L^(t)(θ^(t)) − L^(t)(θ*)``."""
+    path = np.asarray(losses_along_path, dtype=np.float64)
+    best = np.asarray(optimal_losses, dtype=np.float64)
+    if path.shape != best.shape:
+        raise ValueError("trajectories must have equal length")
+    return float(np.sum(path - best))
+
+
+def regret_bound(
+    horizon: int,
+    dim: int,
+    diameter: float,
+    grad_bound: float,
+    num_tasks: int,
+    step_size: float,
+    calibration: float,
+    decay_power: float = 0.5,
+) -> float:
+    """Theorem 3's regret bound (Eq. 17) under the Corollary 1 schedules.
+
+    Evaluates ``Σ_i D_i²/(2μ_T) + K Σ_t Σ_i λ_t G_i D_i
+    + Σ_t Σ_i (μ_t/2)(1 + K λ_t)² G_i²`` with isotropic per-dimension
+    constants ``D_i = D/√dim, G_i = G/√dim`` and the decaying schedules
+    ``μ_t = μ/t^p``, ``λ_t = λ/t^p``.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be ≥ 1")
+    t = np.arange(1, horizon + 1, dtype=np.float64)
+    mu_t = step_size / t**decay_power
+    lam_t = calibration / t**decay_power
+    d_i = diameter / np.sqrt(dim)
+    g_i = grad_bound / np.sqrt(dim)
+    term1 = dim * d_i**2 / (2.0 * mu_t[-1])
+    term2 = num_tasks * dim * g_i * d_i * float(np.sum(lam_t))
+    term3 = dim * g_i**2 * float(np.sum(mu_t / 2.0 * (1.0 + num_tasks * lam_t) ** 2))
+    return term1 + term2 + term3
+
+
+def corollary1_rate_exponent(decay_power: float) -> float:
+    """The exponent in R(T) = O(T^e) per Corollary 1: ``max(p, 1−p, 1−3p)``."""
+    p = decay_power
+    return max(p, 1.0 - p, 1.0 - 3.0 * p)
+
+
+def decaying_schedule(base: float, horizon: int, decay_power: float = 0.5) -> np.ndarray:
+    """Corollary 1 schedule ``base / t^p`` for t = 1..T."""
+    t = np.arange(1, horizon + 1, dtype=np.float64)
+    return base / t**decay_power
+
+
+def run_convex_descent(
+    task_gradient_fns: Sequence[Callable[[np.ndarray], np.ndarray]],
+    task_loss_fns: Sequence[Callable[[np.ndarray], float]],
+    balancer,
+    theta0: np.ndarray,
+    step_size: float,
+    steps: int,
+) -> dict:
+    """Run balanced gradient descent on an explicit convex multi-task problem.
+
+    Used by the theory tests to verify Theorem 2 empirically: the aggregate
+    loss sequence should be (eventually) non-increasing and convergent.
+
+    Returns a dict with the parameter trajectory, per-step per-task losses
+    and the aggregate loss history.
+    """
+    if len(task_gradient_fns) != len(task_loss_fns):
+        raise ValueError("need one loss per gradient function")
+    theta = np.asarray(theta0, dtype=np.float64).copy()
+    balancer.reset(len(task_gradient_fns))
+    trajectory = [theta.copy()]
+    loss_history = []
+    for _ in range(steps):
+        grads = np.stack([fn(theta) for fn in task_gradient_fns])
+        losses = np.array([fn(theta) for fn in task_loss_fns])
+        loss_history.append(losses)
+        combined = balancer.balance(grads, losses)
+        theta = theta - step_size * combined
+        trajectory.append(theta.copy())
+    losses = np.asarray(loss_history)
+    return {
+        "trajectory": np.asarray(trajectory),
+        "task_losses": losses,
+        "total_loss": losses.sum(axis=1),
+        "final_theta": theta,
+    }

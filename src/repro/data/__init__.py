@@ -1,0 +1,50 @@
+"""``repro.data`` — six synthetic stand-ins for the paper's benchmarks.
+
+See DESIGN.md for the substitution rationale of each generator.
+"""
+
+from .aliexpress import COUNTRIES, make_aliexpress, make_aliexpress_suite
+from .base import (
+    MULTI_INPUT,
+    SINGLE_INPUT,
+    ArrayDataset,
+    Benchmark,
+    DataLoader,
+    TaskSpec,
+    train_val_test_split,
+)
+from .cityscapes import make_cityscapes
+from .latent import correlated_task_matrix, orthogonal_complement_mix, task_directions
+from .movielens import GENRES, make_movielens
+from .nyuv2 import make_nyuv2
+from .officehome import DOMAINS, make_officehome
+from .qm9 import PROPERTIES, generate_molecule, make_qm9, molecule_properties
+from .synthetic import make_synthetic_mtl, uniform_conflict_gram
+
+__all__ = [
+    "TaskSpec",
+    "ArrayDataset",
+    "DataLoader",
+    "Benchmark",
+    "train_val_test_split",
+    "SINGLE_INPUT",
+    "MULTI_INPUT",
+    "task_directions",
+    "correlated_task_matrix",
+    "orthogonal_complement_mix",
+    "COUNTRIES",
+    "make_aliexpress",
+    "make_aliexpress_suite",
+    "GENRES",
+    "make_movielens",
+    "PROPERTIES",
+    "make_qm9",
+    "generate_molecule",
+    "molecule_properties",
+    "make_nyuv2",
+    "make_cityscapes",
+    "DOMAINS",
+    "make_officehome",
+    "make_synthetic_mtl",
+    "uniform_conflict_gram",
+]

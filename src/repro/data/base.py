@@ -1,0 +1,210 @@
+"""Dataset machinery: task specs, array datasets, loaders, benchmarks.
+
+The paper distinguishes **Single-Input MTL** (all tasks share every training
+example — MovieLens scenario batches, NYUv2, CityScapes, AliExpress) from
+**Multi-Input MTL** (each task has its own disjoint training data — QM9
+properties in the LibMTL setup, Office-Home domains).  Both modes are first
+class here:
+
+- single-input: one :class:`ArrayDataset` whose targets are a dict
+  ``{task: y}``;
+- multi-input: a dict ``{task: ArrayDataset}`` with per-task inputs/targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "TaskSpec",
+    "ArrayDataset",
+    "DataLoader",
+    "Benchmark",
+    "train_val_test_split",
+    "SINGLE_INPUT",
+    "MULTI_INPUT",
+]
+
+SINGLE_INPUT = "single_input"
+MULTI_INPUT = "multi_input"
+
+
+@dataclass
+class TaskSpec:
+    """Everything the trainer needs to know about one task.
+
+    Attributes
+    ----------
+    name:
+        Unique task identifier (e.g. ``"ES_CTR"``, ``"segmentation"``).
+    loss_fn:
+        ``(raw_model_output: Tensor, targets: ndarray) -> scalar Tensor``.
+    metrics:
+        Metric name → ``(raw_outputs: ndarray, targets: ndarray) -> float``;
+        each metric closure applies its own output transform (sigmoid,
+        argmax, …).
+    higher_is_better:
+        Metric name → direction, used for ΔM (Eq. 27).
+    """
+
+    name: str
+    loss_fn: Callable[[Tensor, np.ndarray], Tensor]
+    metrics: dict[str, Callable[[np.ndarray, np.ndarray], float]] = field(default_factory=dict)
+    higher_is_better: dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = set(self.metrics) - set(self.higher_is_better)
+        if missing:
+            raise ValueError(f"task {self.name!r}: metrics missing direction: {sorted(missing)}")
+
+
+def _index_inputs(inputs, idx: np.ndarray):
+    """Index array / tuple-of-arrays inputs by a position array."""
+    if isinstance(inputs, tuple):
+        return tuple(part[idx] for part in inputs)
+    return inputs[idx]
+
+
+class ArrayDataset:
+    """In-memory dataset of (inputs, targets).
+
+    ``inputs`` is an ndarray or a tuple of aligned ndarrays (e.g. graph
+    batches ``(nodes, adjacency, mask)``); ``targets`` is an ndarray
+    (single task) or a dict ``{task: ndarray}`` (single-input MTL).
+    """
+
+    def __init__(self, inputs, targets) -> None:
+        self.inputs = inputs
+        self.targets = targets
+        length = len(inputs[0]) if isinstance(inputs, tuple) else len(inputs)
+        if isinstance(targets, Mapping):
+            for name, target in targets.items():
+                if len(target) != length:
+                    raise ValueError(f"target {name!r} length {len(target)} != inputs {length}")
+        elif len(targets) != length:
+            raise ValueError(f"targets length {len(targets)} != inputs {length}")
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def batch(self, idx: np.ndarray):
+        """Return ``(inputs[idx], targets[idx])`` (dicts indexed per task)."""
+        idx = np.asarray(idx)
+        inputs = _index_inputs(self.inputs, idx)
+        if isinstance(self.targets, Mapping):
+            targets = {name: target[idx] for name, target in self.targets.items()}
+        else:
+            targets = self.targets[idx]
+        return inputs, targets
+
+    def subset(self, idx: np.ndarray) -> "ArrayDataset":
+        """A new dataset restricted to the given positions."""
+        inputs, targets = self.batch(np.asarray(idx))
+        return ArrayDataset(inputs, targets)
+
+    def all(self):
+        """The full dataset as one batch."""
+        return self.batch(np.arange(self._length))
+
+
+class DataLoader:
+    """Minibatch iterator with optional shuffling.
+
+    Each ``iter()`` re-shuffles with the loader's generator, so epochs see
+    different orders while remaining reproducible from the seed.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be ≥ 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.size < self.batch_size:
+                break
+            yield self.dataset.batch(idx)
+
+
+def train_val_test_split(
+    n: int,
+    rng: np.random.Generator,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random index split into train/val/test."""
+    if val_fraction + test_fraction >= 1.0:
+        raise ValueError("val + test fractions must leave room for training data")
+    order = rng.permutation(n)
+    num_test = int(round(n * test_fraction))
+    num_val = int(round(n * val_fraction))
+    test = order[:num_test]
+    val = order[num_test : num_test + num_val]
+    train = order[num_test + num_val :]
+    return train, val, test
+
+
+@dataclass
+class Benchmark:
+    """One reproduction benchmark: tasks + splits + model factories.
+
+    ``mode`` is :data:`SINGLE_INPUT` or :data:`MULTI_INPUT`; splits are
+    :class:`ArrayDataset` (single-input) or ``{task: ArrayDataset}``
+    (multi-input).  ``build_model(architecture, rng)`` constructs the
+    paper's network for this dataset under the requested architecture
+    (``"hps"`` always supported; CityScapes additionally supports the
+    Fig. 7 set).  ``build_stl_model(task, rng)`` builds the single-task
+    counterpart used for TCI / ΔM baselines.
+    """
+
+    name: str
+    mode: str
+    tasks: list[TaskSpec]
+    train: object
+    val: object
+    test: object
+    build_model: Callable[..., object]
+    build_stl_model: Callable[..., object]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in (SINGLE_INPUT, MULTI_INPUT):
+            raise ValueError(f"mode must be {SINGLE_INPUT!r} or {MULTI_INPUT!r}")
+
+    @property
+    def task_names(self) -> list[str]:
+        return [task.name for task in self.tasks]
+
+    def task(self, name: str) -> TaskSpec:
+        """Look up one task specification by name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"unknown task {name!r}")

@@ -1,0 +1,107 @@
+"""Terminal (ASCII) plotting for figures.
+
+The paper's figures are line charts, bars and scatter plots; in this
+text-only environment the benchmark harness renders them as ASCII so the
+*shape* of each figure is visible directly in ``benchmarks/results/`` and
+in example output.  Deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_line_chart", "ascii_bar_chart"]
+
+
+def _scale(values: np.ndarray, length: int) -> np.ndarray:
+    span = values.max() - values.min()
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    return ((values - values.min()) / span * (length - 1)).round().astype(int)
+
+
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 56,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter plot of (x, y) points with axis ranges in the footer."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(xs, width)
+    rows = _scale(ys, height)
+    for col, row in zip(cols, rows):
+        grid[height - 1 - row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"{x_label}: [{xs.min():.4g}, {xs.max():.4g}]   {y_label}: [{ys.min():.4g}, {ys.max():.4g}]")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 56,
+    height: int = 14,
+    y_label: str = "value",
+) -> str:
+    """Multiple named series over a shared integer x-axis (e.g. epochs).
+
+    Each series gets a distinct marker; a legend follows the chart.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@%&"
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (num_points,) = lengths
+    if num_points < 2:
+        raise ValueError("need at least two points per series")
+    all_values = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    low, high = all_values.min(), all_values.max()
+    span = high - low or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        values = np.asarray(values, dtype=np.float64)
+        for point in range(num_points):
+            col = int(round(point / (num_points - 1) * (width - 1)))
+            row = int(round((values[point] - low) / span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"{y_label}: [{low:.4g}, {high:.4g}]  x: 1..{num_points}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 44,
+    sort: bool = True,
+    fmt: str = "{:+.2%}",
+) -> str:
+    """Horizontal bars (supports negative values, bar from a zero axis)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    items = sorted(values.items(), key=lambda kv: kv[1], reverse=True) if sort else list(values.items())
+    label_width = max(len(name) for name, _ in items)
+    magnitudes = np.asarray([abs(v) for _, v in items], dtype=np.float64)
+    peak = magnitudes.max() or 1.0
+    lines = []
+    for name, value in items:
+        bar_length = int(round(abs(value) / peak * width))
+        bar = ("#" if value >= 0 else "-") * bar_length
+        lines.append(f"{name.ljust(label_width)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)

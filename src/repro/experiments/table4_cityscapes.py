@@ -1,0 +1,51 @@
+"""Table IV — CityScapes 2-task scene understanding (seg + depth + ΔM)."""
+
+from __future__ import annotations
+
+from ..data.cityscapes import make_cityscapes
+from .reporting import format_percent, format_table
+from .runner import METHODS, RunConfig, run_methods
+
+__all__ = ["PRESETS", "run", "format_result", "METRIC_COLUMNS"]
+
+PRESETS = {
+    "quick": {"num_scenes": 120, "epochs": 3, "batch_size": 16, "lr": 3e-3, "num_seeds": 2},
+    "full": {"num_scenes": 400, "epochs": 8, "batch_size": 16, "lr": 3e-3, "num_seeds": 2},
+}
+
+METRIC_COLUMNS = (
+    ("segmentation", "miou"),
+    ("segmentation", "pixacc"),
+    ("depth", "abs_err"),
+    ("depth", "rel_err"),
+)
+
+
+def run(preset: str = "quick", methods=METHODS, seed: int = 0) -> dict:
+    """Run Table IV; returns per-method metric dicts plus ΔM."""
+    params = PRESETS[preset]
+    benchmark = make_cityscapes(num_scenes=params["num_scenes"], seed=seed)
+    config = RunConfig(
+        epochs=params["epochs"],
+        batch_size=params["batch_size"],
+        lr=params["lr"],
+        seed=seed,
+        num_seeds=params.get("num_seeds", 1),
+    )
+    results = run_methods(benchmark, methods, config)
+    return {
+        "preset": preset,
+        "metrics": {name: r.metrics for name, r in results.items()},
+        "delta_m": {name: r.delta_m for name, r in results.items()},
+    }
+
+
+def format_result(result: dict) -> str:
+    """Render the Table IV layout (4 metric columns + ΔM)."""
+    headers = ["Method"] + [f"{task[:3]}.{metric}" for task, metric in METRIC_COLUMNS] + ["ΔM"]
+    rows = []
+    for method, metrics in result["metrics"].items():
+        row = [method] + [metrics[task][metric] for task, metric in METRIC_COLUMNS]
+        row.append(format_percent(result["delta_m"][method]))
+        rows.append(row)
+    return format_table(headers, rows, title="Table IV — CityScapes", float_digits=4)

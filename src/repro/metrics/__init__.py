@@ -1,0 +1,24 @@
+"""``repro.metrics`` — every evaluation metric used in the paper's Section V."""
+
+from .classification import accuracy, binary_accuracy, roc_auc
+from .delta import delta_m, delta_m_from_results
+from .normals import angular_distances, normal_metrics
+from .regression import abs_error, mae, rel_error, rmse
+from .segmentation import confusion_matrix, mean_iou, pixel_accuracy
+
+__all__ = [
+    "roc_auc",
+    "accuracy",
+    "binary_accuracy",
+    "mae",
+    "rmse",
+    "abs_error",
+    "rel_error",
+    "confusion_matrix",
+    "mean_iou",
+    "pixel_accuracy",
+    "angular_distances",
+    "normal_metrics",
+    "delta_m",
+    "delta_m_from_results",
+]

@@ -1,0 +1,53 @@
+"""ΔM — the paper's cross-task aggregate metric (Eq. 27).
+
+    Δ_M = (1/K) Σ_k (−1)^{s_k} (M_{m,k} − M_{b,k}) / M_{b,k}
+
+where ``M_{b,k}`` is the single-task (STL) value of metric k, ``M_{m,k}``
+the multi-task value, and ``s_k = 0`` when higher is better (so improvements
+count positive) and 1 otherwise.  Every per-task metric contributes one term;
+a metric with several statistics (e.g. segmentation mIoU and PixAcc)
+contributes one term per statistic, following LibMTL.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["delta_m", "delta_m_from_results"]
+
+
+def delta_m(
+    mtl_values: Sequence[float],
+    stl_values: Sequence[float],
+    higher_is_better: Sequence[bool],
+) -> float:
+    """ΔM over aligned metric vectors; returned as a fraction (0.01 = +1%)."""
+    mtl = np.asarray(mtl_values, dtype=np.float64)
+    stl = np.asarray(stl_values, dtype=np.float64)
+    signs = np.asarray(higher_is_better, dtype=bool)
+    if not (mtl.shape == stl.shape == signs.shape):
+        raise ValueError("all inputs must have the same length")
+    if mtl.size == 0:
+        raise ValueError("need at least one metric")
+    if np.any(stl == 0):
+        raise ValueError("single-task baseline metric of 0 makes ΔM undefined")
+    relative = (mtl - stl) / np.abs(stl)
+    relative = np.where(signs, relative, -relative)
+    return float(relative.mean())
+
+
+def delta_m_from_results(
+    mtl_results: Mapping[str, Mapping[str, float]],
+    stl_results: Mapping[str, Mapping[str, float]],
+    higher_is_better: Mapping[str, Mapping[str, bool]],
+) -> float:
+    """ΔM from nested ``{task: {metric: value}}`` result dictionaries."""
+    mtl_values, stl_values, signs = [], [], []
+    for task, metrics in higher_is_better.items():
+        for metric, sign in metrics.items():
+            mtl_values.append(mtl_results[task][metric])
+            stl_values.append(stl_results[task][metric])
+            signs.append(sign)
+    return delta_m(mtl_values, stl_values, signs)

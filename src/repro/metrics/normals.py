@@ -1,0 +1,50 @@
+"""Surface-normal metrics (NYUv2, Table III).
+
+Predictions and ground truth are unit(ish) 3-vectors per pixel, laid out as
+``(..., 3, H, W)`` or ``(N, 3)``.  Reported statistics follow the paper:
+mean and median angular distance in degrees, plus the fraction of pixels
+within 11.25°, 22.5° and 30°.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["angular_distances", "normal_metrics"]
+
+_EPS = 1e-8
+
+
+def _to_vectors(array: np.ndarray) -> np.ndarray:
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim == 2 and array.shape[1] == 3:
+        return array
+    if array.ndim >= 3 and array.shape[1] == 3:
+        # (N, 3, H, W) → (N*H*W, 3)
+        moved = np.moveaxis(array, 1, -1)
+        return moved.reshape(-1, 3)
+    raise ValueError(f"cannot interpret shape {array.shape} as normal vectors")
+
+
+def angular_distances(predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-pixel angular distance in degrees between normal fields."""
+    pred = _to_vectors(predictions)
+    true = _to_vectors(targets)
+    if pred.shape != true.shape:
+        raise ValueError("prediction and target shapes must match")
+    pred = pred / np.maximum(np.linalg.norm(pred, axis=1, keepdims=True), _EPS)
+    true = true / np.maximum(np.linalg.norm(true, axis=1, keepdims=True), _EPS)
+    cosine = np.clip(np.sum(pred * true, axis=1), -1.0, 1.0)
+    return np.degrees(np.arccos(cosine))
+
+
+def normal_metrics(predictions: np.ndarray, targets: np.ndarray) -> dict[str, float]:
+    """The five surface-normal statistics of Table III."""
+    angles = angular_distances(predictions, targets)
+    return {
+        "mean": float(np.mean(angles)),
+        "median": float(np.median(angles)),
+        "within_11.25": float(np.mean(angles < 11.25)),
+        "within_22.5": float(np.mean(angles < 22.5)),
+        "within_30": float(np.mean(angles < 30.0)),
+    }

@@ -1,0 +1,40 @@
+"""Regression metrics: MAE/RMSE (MovieLens, QM9) and depth errors (NYUv2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "abs_error", "rel_error"]
+
+
+def _flatten_pair(predictions, targets) -> tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same size")
+    if predictions.size == 0:
+        raise ValueError("cannot compute a metric over an empty batch")
+    return predictions, targets
+
+
+def mae(predictions, targets) -> float:
+    """Mean absolute error."""
+    predictions, targets = _flatten_pair(predictions, targets)
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+def rmse(predictions, targets) -> float:
+    """Root mean squared error."""
+    predictions, targets = _flatten_pair(predictions, targets)
+    return float(np.sqrt(np.mean((predictions - targets) ** 2)))
+
+
+def abs_error(predictions, targets) -> float:
+    """Absolute depth error (identical to MAE; paper's "Abs Err")."""
+    return mae(predictions, targets)
+
+
+def rel_error(predictions, targets, eps: float = 1e-6) -> float:
+    """Relative depth error: mean |ŷ − y| / y (paper's "Rel Err")."""
+    predictions, targets = _flatten_pair(predictions, targets)
+    return float(np.mean(np.abs(predictions - targets) / np.maximum(np.abs(targets), eps)))

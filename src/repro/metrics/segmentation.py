@@ -1,0 +1,44 @@
+"""Semantic-segmentation metrics: mean IoU and pixel accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "mean_iou", "pixel_accuracy"]
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Class confusion counts ``C[i, j]`` = pixels of true class i predicted j."""
+    predictions = np.asarray(predictions).reshape(-1).astype(np.int64)
+    labels = np.asarray(labels).reshape(-1).astype(np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same size")
+    valid = (labels >= 0) & (labels < num_classes)
+    flat = labels[valid] * num_classes + predictions[valid]
+    counts = np.bincount(flat, minlength=num_classes * num_classes)
+    return counts.reshape(num_classes, num_classes)
+
+
+def mean_iou(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> float:
+    """Mean intersection-over-union over classes present in the labels."""
+    matrix = confusion_matrix(predictions, labels, num_classes)
+    intersection = np.diag(matrix).astype(np.float64)
+    union = matrix.sum(axis=0) + matrix.sum(axis=1) - intersection
+    present = matrix.sum(axis=1) > 0
+    if not present.any():
+        raise ValueError("no valid labels found")
+    iou = np.zeros(num_classes)
+    nonzero = union > 0
+    iou[nonzero] = intersection[nonzero] / union[nonzero]
+    return float(iou[present].mean())
+
+
+def pixel_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of pixels labelled correctly."""
+    predictions = np.asarray(predictions).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same size")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predictions == labels))

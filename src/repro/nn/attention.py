@@ -1,0 +1,76 @@
+"""Self-attention blocks.
+
+Used by the BST-style (Behaviour Sequence Transformer) shared encoder for
+the MovieLens experiments and by MTAN-style attention gating.  Implements
+standard scaled dot-product multi-head self-attention over sequences laid
+out as ``(batch, sequence, features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import softmax
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention", "TransformerBlock"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng)
+        self.key = Linear(dim, dim, rng)
+        self.value = Linear(dim, dim, rng)
+        self.out = Linear(dim, dim, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, S, D) -> (B, H, S, Dh)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        weights = softmax(scores, axis=-1)
+        attended = weights @ v  # (B, H, S, Dh)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out(merged)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: attention + position-wise MLP."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        mlp_ratio: int = 2,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, num_heads, rng)
+        self.norm2 = LayerNorm(dim)
+        self.fc1 = Linear(dim, dim * mlp_ratio, rng)
+        self.fc2 = Linear(dim * mlp_ratio, dim, rng)
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        hidden = self.fc1(self.norm2(x)).relu()
+        if self.dropout is not None:
+            hidden = self.dropout(hidden)
+        return x + self.fc2(hidden)

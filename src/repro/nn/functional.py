@@ -1,0 +1,135 @@
+"""Functional neural-network operations built on :mod:`repro.nn.tensor`.
+
+Losses follow the reduction conventions of the paper's experimental stack:
+every loss returns a scalar tensor (mean over the batch) unless stated
+otherwise, because the multi-task trainer back-propagates one scalar per task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, where
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "gelu",
+    "softmax",
+    "log_softmax",
+    "mse_loss",
+    "l1_loss",
+    "huber_loss",
+    "bce_with_logits",
+    "cross_entropy",
+    "nll_loss",
+    "cosine_similarity",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise max(x, 0)."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Elementwise leaky ReLU."""
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    return x.tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = 0.7978845608028654 * (x + 0.044715 * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error over all elements."""
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error over all elements."""
+    target = as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta``, linear outside."""
+    target = as_tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - 0.5 * delta * delta
+    return where(abs_diff.data <= delta, quadratic, linear).mean()
+
+
+def bce_with_logits(logits: Tensor, target) -> Tensor:
+    """Numerically stable binary cross entropy on raw logits.
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    target = as_tensor(target)
+    positive = logits.clip(0.0, np.inf)
+    softplus = (1.0 + (-logits.abs()).exp()).log()
+    return (positive - logits * target + softplus).mean()
+
+
+def cross_entropy(logits: Tensor, target_indices, axis: int = -1) -> Tensor:
+    """Cross entropy between raw ``logits`` and integer class labels.
+
+    ``target_indices`` is an integer array; for dense prediction tasks the
+    logits may carry extra leading axes, e.g. ``(batch, H, W, classes)``
+    paired with labels of shape ``(batch, H, W)``.
+    """
+    target_indices = np.asarray(target_indices)
+    log_probs = log_softmax(logits, axis=axis)
+    if axis not in (-1, log_probs.ndim - 1):
+        raise ValueError("cross_entropy expects the class axis to be last")
+    flat = log_probs.reshape(-1, log_probs.shape[-1])
+    labels = target_indices.reshape(-1).astype(np.int64)
+    picked = flat[np.arange(flat.shape[0]), labels]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, target_indices) -> Tensor:
+    """Negative log likelihood over pre-computed log probabilities."""
+    target_indices = np.asarray(target_indices).reshape(-1).astype(np.int64)
+    flat = log_probs.reshape(-1, log_probs.shape[-1])
+    picked = flat[np.arange(flat.shape[0]), target_indices]
+    return -picked.mean()
+
+
+def cosine_similarity(a: Tensor, b: Tensor, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity along the last axis."""
+    dot = (a * b).sum(axis=-1)
+    norm_a = ((a * a).sum(axis=-1) + eps).sqrt()
+    norm_b = ((b * b).sum(axis=-1) + eps).sqrt()
+    return dot / (norm_a * norm_b)

@@ -1,0 +1,74 @@
+"""Graph neural network layers for the QM9 experiments.
+
+The paper uses graph convolutional shared layers on QM9.  This module
+implements a Kipf-&-Welling-style GCN operating on *dense, padded* batches:
+node features ``(batch, nodes, features)`` together with symmetric-normalized
+adjacency matrices ``(batch, nodes, nodes)`` that already include self loops.
+Padded nodes carry zero rows/columns and a node mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["normalize_adjacency", "GraphConv", "GraphReadout"]
+
+
+def normalize_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Return the symmetric normalization ``D^-1/2 (A + I) D^-1/2``.
+
+    Accepts a single ``(n, n)`` matrix or a batch ``(b, n, n)``.  Rows/columns
+    that are entirely zero (padding) stay zero.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    single = adjacency.ndim == 2
+    if single:
+        adjacency = adjacency[None]
+    batch, nodes, _ = adjacency.shape
+    if add_self_loops:
+        # Only add self loops to real nodes (nodes with any connectivity or
+        # nonzero degree after the loop); padding rows stay zero.
+        real = (adjacency.sum(axis=2) > 0) | (adjacency.sum(axis=1) > 0)
+        eye = np.zeros_like(adjacency)
+        idx = np.arange(nodes)
+        for b in range(batch):
+            eye[b, idx[real[b]], idx[real[b]]] = 1.0
+        adjacency = adjacency + eye
+    degree = adjacency.sum(axis=2)
+    inv_sqrt = np.zeros_like(degree)
+    positive = degree > 0
+    inv_sqrt[positive] = degree[positive] ** -0.5
+    normalized = adjacency * inv_sqrt[:, :, None] * inv_sqrt[:, None, :]
+    return normalized[0] if single else normalized
+
+
+class GraphConv(Module):
+    """One GCN layer: ``H' = act(Â H W)`` with ``Â`` precomputed."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng)
+
+    def forward(self, node_features: Tensor, adjacency: Tensor | np.ndarray) -> Tensor:
+        if not isinstance(adjacency, Tensor):
+            adjacency = Tensor(adjacency)
+        propagated = adjacency @ node_features
+        return self.linear(propagated)
+
+
+class GraphReadout(Module):
+    """Masked mean-pool node features into one graph embedding.
+
+    ``node_mask`` marks real (non-padding) nodes; the mean runs only over
+    real nodes so padding does not dilute the embedding.
+    """
+
+    def forward(self, node_features: Tensor, node_mask: np.ndarray) -> Tensor:
+        mask = np.asarray(node_mask, dtype=np.float64)[..., None]  # (B, N, 1)
+        counts = np.maximum(mask.sum(axis=1), 1.0)  # (B, 1)
+        summed = (node_features * Tensor(mask)).sum(axis=1)
+        return summed * Tensor(1.0 / counts)

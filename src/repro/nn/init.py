@@ -1,0 +1,60 @@
+"""Parameter initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so every model
+in the reproduction is seedable end to end — runs in EXPERIMENTS.md are exact
+re-runs, not approximate ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "kaiming_normal", "zeros", "normal"]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Convolution kernels: (out_channels, in_channels, kh, kw)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(±gain·√(6/(fan_in+fan_out)))."""
+    fan_in, fan_out = _fan(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain·√(2/(fan_in+fan_out)))."""
+    fan_in, fan_out = _fan(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He uniform: U(±√(6/fan_in)), for ReLU networks."""
+    fan_in, _ = _fan(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, √(2/fan_in)), for ReLU networks."""
+    fan_in, _ = _fan(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initializer (for biases)."""
+    return np.zeros(shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Plain Gaussian initializer (for embeddings)."""
+    return rng.normal(0.0, std, size=shape)

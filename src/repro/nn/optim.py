@@ -1,0 +1,155 @@
+"""First-order optimizers: SGD (with momentum), Adam, AdaGrad, RMSProp.
+
+These are the optimizers the paper compares against for convergence-rate
+purposes (§IV-C, Corollary 1).  All updates run under ``no_grad`` and mutate
+parameter data in place.
+
+Note the separation of concerns in this reproduction: gradient *balancers*
+(MoCoGrad, PCGrad, …) combine per-task gradients into one joint gradient,
+which the trainer writes into ``param.grad``; the optimizer then consumes
+``param.grad`` exactly as in single-task training.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import no_grad
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdaGrad", "RMSProp"]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the parameters' current gradients."""
+        self.step_count += 1
+        with no_grad():
+            self._step()
+
+    def _step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional heavy-ball momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _step(self) -> None:
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad (Duchi et al., 2011)."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-2, eps: float = 1e-10) -> None:
+        super().__init__(parameters, lr)
+        self.eps = eps
+        self._accumulator = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _step(self) -> None:
+        for param, acc in zip(self.parameters, self._accumulator):
+            if param.grad is None:
+                continue
+            acc += param.grad**2
+            param.data -= self.lr * param.grad / (np.sqrt(acc) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton, 2012)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self._avg = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _step(self) -> None:
+        for param, avg in zip(self.parameters, self._avg):
+            if param.grad is None:
+                continue
+            avg *= self.alpha
+            avg += (1.0 - self.alpha) * param.grad**2
+            param.data -= self.lr * param.grad / (np.sqrt(avg) + self.eps)

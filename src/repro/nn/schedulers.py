@@ -1,0 +1,93 @@
+"""Learning-rate schedulers, including the paper's Corollary 1 schedule.
+
+Corollary 1 proves MoCoGrad's O(√T) regret under the decaying schedules
+μ_t = μ/t^p and λ_t = λ/t^p with p = 1/2.  :class:`InverseSqrt` (and the
+general :class:`InversePower`) implement exactly that schedule for the
+optimizer side; the balancer side is ``MoCoGrad(calibration_decay=...)``.
+
+All schedulers mutate ``optimizer.lr`` in place on :meth:`step` and follow
+the convention of being stepped once per epoch (or once per iteration for
+the theory schedules — the unit is up to the caller, matching PyTorch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "StepDecay", "CosineAnnealing", "InversePower", "InverseSqrt"]
+
+
+class Scheduler:
+    """Base class: tracks the step count and the base learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.count = 0
+
+    def step(self) -> float:
+        """Advance the schedule; returns the new learning rate."""
+        self.count += 1
+        self.optimizer.lr = self.compute_lr(self.count)
+        return self.optimizer.lr
+
+    def compute_lr(self, count: int) -> float:
+        """The learning rate after ``count`` scheduler steps."""
+        raise NotImplementedError
+
+
+class StepDecay(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, optimizer: Optimizer, period: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if period < 1:
+            raise ValueError("period must be ≥ 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.period = period
+        self.gamma = gamma
+
+    def compute_lr(self, count: int) -> float:
+        return self.base_lr * self.gamma ** (count // self.period)
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ValueError("total_steps must be ≥ 1")
+        if min_lr < 0:
+            raise ValueError("min_lr must be ≥ 0")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def compute_lr(self, count: int) -> float:
+        progress = min(count, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + np.cos(np.pi * progress)
+        )
+
+
+class InversePower(Scheduler):
+    """Corollary 1 schedule ``lr_t = base / t^p``."""
+
+    def __init__(self, optimizer: Optimizer, power: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if power <= 0:
+            raise ValueError("power must be positive")
+        self.power = power
+
+    def compute_lr(self, count: int) -> float:
+        return self.base_lr / count**self.power
+
+
+class InverseSqrt(InversePower):
+    """``lr_t = base / √t`` — the p = 1/2 rate Corollary 1 optimizes."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        super().__init__(optimizer, power=0.5)

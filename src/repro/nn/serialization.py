@@ -1,0 +1,55 @@
+"""Model checkpoint serialization to ``.npz`` files.
+
+A production library needs durable checkpoints; this stores a module's
+:meth:`~repro.nn.module.Module.state_dict` (name → ndarray) plus optional
+metadata in a single compressed numpy archive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(model: Module, path, metadata: dict | None = None) -> Path:
+    """Write the model's parameters (and JSON-serializable metadata) to ``path``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY!r}")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state(path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a checkpoint file; returns ``(state_dict, metadata)``."""
+    with np.load(Path(path)) as archive:
+        metadata = {}
+        state = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                metadata = json.loads(archive[key].tobytes().decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    return state, metadata
+
+
+def load_checkpoint(model: Module, path) -> dict:
+    """Restore a model in place from ``path``; returns the stored metadata."""
+    state, metadata = load_state(path)
+    model.load_state_dict(state)
+    return metadata

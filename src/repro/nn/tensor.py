@@ -1,0 +1,575 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module provides :class:`Tensor`, a thin wrapper around ``numpy.ndarray``
+that records a dynamic computation graph and supports backpropagation through
+it.  It plays the role PyTorch's autograd plays in the original MoCoGrad
+implementation: the multi-task trainer calls :meth:`Tensor.backward` once per
+task loss to obtain per-task gradients over the shared parameters.
+
+Design notes
+------------
+- Each operation stores a ``grad_fn`` on its output that maps the upstream
+  gradient to a tuple of parent gradients.  During :meth:`Tensor.backward`
+  intermediate gradients live in a transient dictionary; only *leaf* tensors
+  (parameters, inputs) and tensors marked via :meth:`Tensor.retain_grad`
+  accumulate into ``.grad``.  This makes repeated backward passes over a
+  shared graph safe — exactly what per-task gradient collection in multi-task
+  learning requires.
+- Gradients accumulate additively into ``Tensor.grad`` until ``zero_grad``,
+  matching the PyTorch convention.
+- Broadcasting is fully supported; backward passes reduce gradients back to
+  the operand shape via :func:`unbroadcast`.
+- ``no_grad`` disables graph construction for evaluation loops and optimizer
+  arithmetic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+]
+
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (scalar, ndarray or Tensor) to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_grad_fn", "_prev", "_op", "_retains")
+
+    __array_priority__ = 200  # ensure ndarray op Tensor dispatches here
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._grad_fn: Callable[[np.ndarray], tuple] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self._op = ""
+        self._retains = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._grad_fn is None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def item(self) -> float:
+        """The value of a single-element tensor as a Python float."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    def retain_grad(self) -> "Tensor":
+        """Request gradient accumulation on this (possibly non-leaf) tensor.
+
+        The multi-task trainer uses this on the shared representation to
+        collect *feature-level* task gradients (paper §VI-C).
+        """
+        self._retains = True
+        return self
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction / backward
+    # ------------------------------------------------------------------
+    def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._prev = tuple(parents)
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor into leaf ``.grad`` buffers.
+
+        Safe to call multiple times on losses sharing subgraphs: gradients of
+        intermediate nodes are kept in a transient map, never on the nodes.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"grad shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        flowing: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            upstream = flowing.pop(id(node), None)
+            if upstream is None:
+                continue
+            if node.is_leaf or node._retains:
+                node._accumulate(upstream)
+            if node._grad_fn is None:
+                continue
+            parent_grads = node._grad_fn(upstream)
+            for parent, parent_grad in zip(node._prev, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in flowing:
+                    flowing[key] = flowing[key] + parent_grad
+                else:
+                    flowing[key] = parent_grad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data + other.data, (self, other), "add")
+        if out.requires_grad:
+            a_shape, b_shape = self.data.shape, other.data.shape
+            out._grad_fn = lambda g: (unbroadcast(g, a_shape), unbroadcast(g, b_shape))
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data * other.data, (self, other), "mul")
+        if out.requires_grad:
+            a, b = self, other
+            out._grad_fn = lambda g: (
+                unbroadcast(g * b.data, a.data.shape),
+                unbroadcast(g * a.data, b.data.shape),
+            )
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,), "neg")
+        if out.requires_grad:
+            out._grad_fn = lambda g: (-g,)
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data - other.data, (self, other), "sub")
+        if out.requires_grad:
+            a_shape, b_shape = self.data.shape, other.data.shape
+            out._grad_fn = lambda g: (unbroadcast(g, a_shape), unbroadcast(-g, b_shape))
+        return out
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data / other.data, (self, other), "div")
+        if out.requires_grad:
+            a, b = self, other
+            out._grad_fn = lambda g: (
+                unbroadcast(g / b.data, a.data.shape),
+                unbroadcast(-g * a.data / (b.data**2), b.data.shape),
+            )
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make_child(self.data**exponent, (self,), "pow")
+        if out.requires_grad:
+            base = self
+            out._grad_fn = lambda g: (g * exponent * base.data ** (exponent - 1),)
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = self._make_child(self.data @ other.data, (self, other), "matmul")
+        if out.requires_grad:
+            a, b = self, other
+
+            def grad_fn(g: np.ndarray) -> tuple:
+                ad, bd = a.data, b.data
+                grad_a = grad_b = None
+                if a.requires_grad:
+                    if bd.ndim == 1 and ad.ndim == 1:
+                        grad_a = g * bd
+                    elif bd.ndim == 1:
+                        grad_a = g[..., None] * bd
+                    elif ad.ndim == 1:
+                        grad_a = g @ np.swapaxes(bd, -1, -2)
+                        if grad_a.ndim > 1:
+                            grad_a = grad_a.sum(axis=tuple(range(grad_a.ndim - 1)))
+                    else:
+                        grad_a = g @ np.swapaxes(bd, -1, -2)
+                    if grad_a.shape != ad.shape:
+                        grad_a = unbroadcast(grad_a, ad.shape)
+                if b.requires_grad:
+                    if ad.ndim == 1 and bd.ndim == 1:
+                        grad_b = g * ad
+                    elif ad.ndim == 1:
+                        grad_b = np.outer(ad, g) if bd.ndim == 2 else None
+                        if grad_b is None:
+                            raise NotImplementedError("1D @ nD (n>2) backward unsupported")
+                    elif bd.ndim == 1:
+                        grad_b = (np.swapaxes(ad, -1, -2) @ g[..., None])[..., 0]
+                        if grad_b.ndim > 1:
+                            grad_b = grad_b.sum(axis=tuple(range(grad_b.ndim - 1)))
+                    else:
+                        grad_b = np.swapaxes(ad, -1, -2) @ g
+                        if grad_b.shape != bd.shape:
+                            grad_b = unbroadcast(grad_b, bd.shape)
+                return grad_a, grad_b
+
+            out._grad_fn = grad_fn
+        return out
+
+    def __rmatmul__(self, other) -> "Tensor":
+        return as_tensor(other).__matmul__(self)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential (inputs clipped to ±700 for stability)."""
+        out = self._make_child(np.exp(np.clip(self.data, -700.0, 700.0)), (self,), "exp")
+        if out.requires_grad:
+            out._grad_fn = lambda g: (g * out.data,)
+        return out
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        out = self._make_child(np.log(self.data), (self,), "log")
+        if out.requires_grad:
+            base = self
+            out._grad_fn = lambda g: (g / base.data,)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out = self._make_child(np.tanh(self.data), (self,), "tanh")
+        if out.requires_grad:
+            out._grad_fn = lambda g: (g * (1.0 - out.data**2),)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid (numerically clipped)."""
+        value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        out = self._make_child(value, (self,), "sigmoid")
+        if out.requires_grad:
+            out._grad_fn = lambda g: (g * out.data * (1.0 - out.data),)
+        return out
+
+    def relu(self) -> "Tensor":
+        """Elementwise max(x, 0)."""
+        out = self._make_child(np.maximum(self.data, 0.0), (self,), "relu")
+        if out.requires_grad:
+            mask = self.data > 0
+            out._grad_fn = lambda g: (g * mask,)
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        """Elementwise leaky ReLU with the given negative slope."""
+        value = np.where(self.data > 0, self.data, negative_slope * self.data)
+        out = self._make_child(value, (self,), "leaky_relu")
+        if out.requires_grad:
+            scale = np.where(self.data > 0, 1.0, negative_slope)
+            out._grad_fn = lambda g: (g * scale,)
+        return out
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value."""
+        out = self._make_child(np.abs(self.data), (self,), "abs")
+        if out.requires_grad:
+            sign = np.sign(self.data)
+            out._grad_fn = lambda g: (g * sign,)
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to [low, high] (gradient zero outside)."""
+        out = self._make_child(np.clip(self.data, low, high), (self,), "clip")
+        if out.requires_grad:
+            mask = (self.data >= low) & (self.data <= high)
+            out._grad_fn = lambda g: (g * mask,)
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over the given axes (all by default)."""
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+        if out.requires_grad:
+            src_shape = self.data.shape
+
+            def grad_fn(g: np.ndarray) -> tuple:
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % len(src_shape) for a in axes)
+                    shape = [1 if i in axes else d for i, d in enumerate(src_shape)]
+                    g = g.reshape(shape)
+                return (np.broadcast_to(g, src_shape).copy(),)
+
+            out._grad_fn = grad_fn
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over the given axes (all by default)."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over the given axes; ties split the gradient evenly."""
+        value = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(value, (self,), "max")
+        if out.requires_grad:
+            src = self.data
+            value_keep = self.data.max(axis=axis, keepdims=True)
+            mask = src == value_keep
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+
+            def grad_fn(g: np.ndarray) -> tuple:
+                gg = g
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % src.ndim for a in axes)
+                    shape = [1 if i in axes else d for i, d in enumerate(src.shape)]
+                    gg = gg.reshape(shape)
+                return (np.broadcast_to(gg, src.shape) * mask / counts,)
+
+            out._grad_fn = grad_fn
+        return out
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum over the given axes."""
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """View the data under a new shape (same number of elements)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make_child(self.data.reshape(shape), (self,), "reshape")
+        if out.requires_grad:
+            src_shape = self.data.shape
+            out._grad_fn = lambda g: (g.reshape(src_shape),)
+        return out
+
+    def flatten(self, start_axis: int = 0) -> "Tensor":
+        """Flatten all axes from ``start_axis`` onward into one."""
+        shape = self.data.shape[:start_axis] + (-1,)
+        return self.reshape(shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute axes (reversed order when none are given)."""
+        if len(axes) == 0:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = self._make_child(self.data.transpose(axes), (self,), "transpose")
+        if out.requires_grad:
+            inverse = tuple(np.argsort(axes))
+            out._grad_fn = lambda g: (g.transpose(inverse),)
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,), "getitem")
+        if out.requires_grad:
+            src_shape = self.data.shape
+
+            def grad_fn(g: np.ndarray) -> tuple:
+                grad = np.zeros(src_shape, dtype=np.float64)
+                np.add.at(grad, index, g)
+                return (grad,)
+
+            out._grad_fn = grad_fn
+        return out
+
+    # ------------------------------------------------------------------
+    # Comparisons (non-differentiable; return ndarray masks)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+
+# ----------------------------------------------------------------------
+# Free functions operating on collections of tensors
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tensors, "concat")
+    if out.requires_grad:
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+        ndim = data.ndim
+
+        def grad_fn(g: np.ndarray) -> tuple:
+            grads = []
+            for start, stop in zip(offsets[:-1], offsets[1:]):
+                slicer: list = [slice(None)] * ndim
+                slicer[axis] = slice(int(start), int(stop))
+                grads.append(g[tuple(slicer)])
+            return tuple(grads)
+
+        out._grad_fn = grad_fn
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tensors, "stack")
+    if out.requires_grad:
+        n = len(tensors)
+
+        def grad_fn(g: np.ndarray) -> tuple:
+            return tuple(np.squeeze(piece, axis=axis) for piece in np.split(g, n, axis=axis))
+
+        out._grad_fn = grad_fn
+    return out
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Differentiable selection ``condition ? a : b`` (condition is fixed)."""
+    a, b = as_tensor(a), as_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+    out = a._make_child(data, (a, b), "where")
+    if out.requires_grad:
+        a_shape, b_shape = a.data.shape, b.data.shape
+        out._grad_fn = lambda g: (
+            unbroadcast(g * condition, a_shape),
+            unbroadcast(g * (~condition), b_shape),
+        )
+    return out

@@ -1,0 +1,76 @@
+"""Parameter-vector utilities.
+
+Gradient balancers operate on flat per-task gradient vectors over the shared
+parameters; these helpers convert between parameter lists and flat vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "grad_vector",
+    "set_grad_from_vector",
+    "parameter_vector",
+    "set_parameters_from_vector",
+    "clip_grad_norm",
+]
+
+
+def grad_vector(parameters: Sequence[Parameter]) -> np.ndarray:
+    """Flatten the gradients of ``parameters`` into one vector.
+
+    Parameters whose gradient is ``None`` contribute zeros, matching the
+    LibMTL behaviour of treating unused shared parameters as zero-gradient.
+    """
+    pieces = []
+    for param in parameters:
+        if param.grad is None:
+            pieces.append(np.zeros(param.size))
+        else:
+            pieces.append(param.grad.reshape(-1).copy())
+    return np.concatenate(pieces) if pieces else np.zeros(0)
+
+
+def set_grad_from_vector(parameters: Sequence[Parameter], vector: np.ndarray) -> None:
+    """Write a flat gradient vector back into ``param.grad`` buffers."""
+    offset = 0
+    for param in parameters:
+        size = param.size
+        param.grad = vector[offset : offset + size].reshape(param.data.shape).copy()
+        offset += size
+    if offset != vector.size:
+        raise ValueError(f"vector length {vector.size} does not match parameters ({offset})")
+
+
+def parameter_vector(parameters: Sequence[Parameter]) -> np.ndarray:
+    """Flatten parameter values into one vector (copied)."""
+    return np.concatenate([p.data.reshape(-1) for p in parameters]) if parameters else np.zeros(0)
+
+
+def set_parameters_from_vector(parameters: Sequence[Parameter], vector: np.ndarray) -> None:
+    """Write flat values back into parameters."""
+    offset = 0
+    for param in parameters:
+        size = param.size
+        param.data = vector[offset : offset + size].reshape(param.data.shape).copy()
+        offset += size
+    if offset != vector.size:
+        raise ValueError(f"vector length {vector.size} does not match parameters ({offset})")
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Clip total gradient norm in place; return the pre-clip norm."""
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for grad in grads:
+            grad *= scale
+    return total

@@ -1,0 +1,18 @@
+"""``repro.training`` — optimization loops for MTL and STL."""
+
+from .callbacks import BestCheckpoint, EarlyStopping
+from .evaluation import collect_outputs, evaluate_model
+from .history import History
+from .stl import train_stl, train_stl_all
+from .trainer import MTLTrainer
+
+__all__ = [
+    "MTLTrainer",
+    "History",
+    "evaluate_model",
+    "collect_outputs",
+    "train_stl",
+    "train_stl_all",
+    "EarlyStopping",
+    "BestCheckpoint",
+]

@@ -1,0 +1,80 @@
+"""Training callbacks: early stopping and best-checkpoint tracking.
+
+Small utilities a downstream user of the library needs for real training
+runs; the experiment harness keeps fixed epoch budgets for comparability
+with the paper's protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EarlyStopping", "BestCheckpoint"]
+
+
+class EarlyStopping:
+    """Stop when a monitored value stops improving.
+
+    ``mode`` is ``"min"`` (losses, errors) or ``"max"`` (AUC, accuracy).
+    Call :meth:`update` once per epoch; it returns True when training
+    should stop.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0, mode: str = "min") -> None:
+        if patience < 1:
+            raise ValueError("patience must be ≥ 1")
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: float | None = None
+        self.stale_epochs = 0
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def update(self, value: float) -> bool:
+        """Record one epoch's monitored value; True ⇒ stop now."""
+        if not np.isfinite(value):
+            self.stale_epochs += 1
+        elif self._improved(value):
+            self.best = value
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+        return self.stale_epochs >= self.patience
+
+
+class BestCheckpoint:
+    """Keep the best model state seen so far (by a monitored value)."""
+
+    def __init__(self, model, mode: str = "min") -> None:
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.model = model
+        self.mode = mode
+        self.best: float | None = None
+        self._state: dict | None = None
+
+    def update(self, value: float) -> bool:
+        """Snapshot the model if ``value`` is the best so far."""
+        improved = (
+            self.best is None
+            or (self.mode == "min" and value < self.best)
+            or (self.mode == "max" and value > self.best)
+        )
+        if improved and np.isfinite(value):
+            self.best = value
+            self._state = self.model.state_dict()
+        return improved
+
+    def restore(self) -> None:
+        """Load the best snapshot back into the model."""
+        if self._state is None:
+            raise RuntimeError("no checkpoint recorded yet")
+        self.model.load_state_dict(self._state)

@@ -1,0 +1,54 @@
+"""Training history container used by Fig. 6 (convergence curves)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["History"]
+
+
+class History:
+    """Per-step and per-epoch records of a training run."""
+
+    def __init__(self, task_names: list[str]) -> None:
+        self.task_names = list(task_names)
+        self.step_losses: list[np.ndarray] = []
+        self.epoch_losses: list[np.ndarray] = []
+        self.epoch_metrics: list[dict[str, dict[str, float]]] = []
+        self._consumed = 0
+
+    # ------------------------------------------------------------------
+    def record_step(self, losses: np.ndarray) -> None:
+        """Append one optimization step's per-task loss values."""
+        self.step_losses.append(np.asarray(losses, dtype=np.float64))
+
+    def close_epoch(self, metrics: dict[str, dict[str, float]] | None = None) -> None:
+        """Average the step losses since the previous epoch boundary."""
+        steps = self.step_losses[self._consumed :]
+        if steps:
+            self.epoch_losses.append(np.mean(steps, axis=0))
+        else:
+            self.epoch_losses.append(np.full(len(self.task_names), np.nan))
+        self._consumed = len(self.step_losses)
+        self.epoch_metrics.append(metrics or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epoch_losses)
+
+    def task_loss_curve(self, task: str) -> np.ndarray:
+        """Per-epoch mean loss of one task."""
+        index = self.task_names.index(task)
+        return np.array([losses[index] for losses in self.epoch_losses])
+
+    def average_loss_curve(self) -> np.ndarray:
+        """Per-epoch loss averaged over tasks (Fig. 6d)."""
+        return np.array([losses.mean() for losses in self.epoch_losses])
+
+    def final_losses(self) -> dict[str, float]:
+        """Last epoch's mean loss per task."""
+        if not self.epoch_losses:
+            raise RuntimeError("no epochs recorded")
+        last = self.epoch_losses[-1]
+        return dict(zip(self.task_names, map(float, last)))

@@ -1,0 +1,114 @@
+"""Tests for the analysis drivers (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DEFAULT_LAMBDA_GRID,
+    architecture_sweep,
+    backward_time_study,
+    convergence_curves,
+    lambda_sensitivity,
+    task_interference_curve,
+    tci_gcd_correlation,
+)
+from repro.data.movielens import GENRES
+
+
+class TestTaskInterference:
+    def test_curve_structure(self):
+        result = task_interference_curve(
+            records_per_genre=120, epochs=2, batch_size=32, seed=0
+        )
+        assert len(result["task_sets"]) == 3
+        assert len(result["rmse"]) == 3
+        assert result["task_sets"][0] == GENRES[0]
+        assert all(r > 0 for r in result["rmse"])
+
+    def test_respects_partner_list(self):
+        result = task_interference_curve(
+            partner_genres=(GENRES[1],), records_per_genre=100, epochs=1, seed=0
+        )
+        assert len(result["rmse"]) == 2
+
+
+class TestTciGcd:
+    def test_output_structure(self):
+        result = tci_gcd_correlation(
+            cosine_grid=(0.8, -0.8), num_samples=80, epochs=4, seeds=1
+        )
+        assert len(result["gcd"]) == 2
+        assert len(result["tci"]) == 2
+        assert np.isfinite(result["pearson_r"])
+
+    def test_gcd_values_in_range(self):
+        result = tci_gcd_correlation(
+            cosine_grid=(0.5,), num_samples=80, epochs=2, seeds=1
+        )
+        assert 0.0 <= result["gcd"][0] <= 2.0
+
+    def test_conflict_endpoints_ordered(self):
+        """More conflicting ground truth ⇒ larger measured GCD."""
+        result = tci_gcd_correlation(
+            cosine_grid=(0.9, -0.9), num_samples=200, epochs=8, seeds=2
+        )
+        assert result["gcd"][1] > result["gcd"][0]
+
+
+class TestConvergence:
+    def test_curve_lengths(self):
+        result = convergence_curves(
+            methods=("equal", "mocograd"), num_scenes=24, epochs=2, batch_size=8, seed=0
+        )
+        assert set(result["curves"]) == {"equal", "mocograd"}
+        for curves in result["curves"].values():
+            assert len(curves["average"]) == 2
+            assert set(curves) == {"segmentation", "depth", "normal", "average"}
+
+    def test_losses_finite(self):
+        result = convergence_curves(methods=("equal",), num_scenes=24, epochs=1, seed=0)
+        assert np.all(np.isfinite(result["curves"]["equal"]["average"]))
+
+
+class TestArchitectureSweep:
+    def test_delta_per_architecture(self):
+        result = architecture_sweep(
+            architectures=("hps", "mmoe"), num_scenes=24, epochs=1, batch_size=8, seed=0
+        )
+        assert set(result["delta_m"]) == {"hps", "mmoe"}
+        assert all(np.isfinite(v) for v in result["delta_m"].values())
+
+
+class TestTiming:
+    def test_all_methods_timed(self):
+        result = backward_time_study(
+            methods=("equal", "mocograd", "nashmtl"), num_records=300, steps=3, seed=0
+        )
+        times = result["seconds_per_step"]
+        assert set(times) == {"equal", "mocograd", "nashmtl"}
+        assert all(t > 0 for t in times.values())
+
+    def test_feature_mode_supported(self):
+        result = backward_time_study(
+            methods=("equal",), num_records=300, steps=2, grad_source="features", seed=0
+        )
+        assert result["grad_source"] == "features"
+
+
+class TestLambdaSensitivity:
+    def test_grid_respected(self):
+        result = lambda_sensitivity(
+            lambda_grid=(0.06, 0.12),
+            num_classes=4,
+            samples_per_domain=40,
+            epochs=1,
+            batch_size=16,
+            seed=0,
+        )
+        assert result["lambda"] == [0.06, 0.12]
+        assert len(result["avg_accuracy"]) == 2
+        assert all(0.0 <= a <= 1.0 for a in result["avg_accuracy"])
+
+    def test_default_grid_covers_paper_range(self):
+        assert min(DEFAULT_LAMBDA_GRID) <= 0.06
+        assert max(DEFAULT_LAMBDA_GRID) >= 0.15

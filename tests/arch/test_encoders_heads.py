@@ -1,0 +1,149 @@
+"""Tests for encoders and heads."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    BSTEncoder,
+    ConvEncoder,
+    DenseHead,
+    GCNEncoder,
+    LinearHead,
+    MLPEncoder,
+    MLPHead,
+    TabularEncoder,
+)
+from repro.nn import Tensor, normalize_adjacency
+
+
+class TestMLPEncoder:
+    def test_shape(self, rng):
+        encoder = MLPEncoder(5, [10, 7], rng)
+        assert encoder(Tensor(rng.normal(size=(3, 5)))).shape == (3, 7)
+        assert encoder.out_features == 7
+
+    def test_accepts_ndarray(self, rng):
+        encoder = MLPEncoder(5, [4], rng)
+        assert encoder(rng.normal(size=(2, 5))).shape == (2, 4)
+
+    def test_stages_exposed(self, rng):
+        encoder = MLPEncoder(5, [10, 7], rng)
+        assert len(encoder.stages) == 2
+
+    def test_empty_widths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MLPEncoder(5, [], rng)
+
+
+class TestTabularEncoder:
+    def test_shape(self, rng):
+        encoder = TabularEncoder([10, 20, 5], 4, [16, 8], rng)
+        fields = rng.integers(0, 5, size=(6, 3))
+        assert encoder(fields).shape == (6, 8)
+
+    def test_rejects_wrong_field_count(self, rng):
+        encoder = TabularEncoder([10, 20], 4, [8], rng)
+        with pytest.raises(ValueError):
+            encoder(np.zeros((3, 3), dtype=int))
+
+    def test_embeddings_differ_per_field(self, rng):
+        encoder = TabularEncoder([5, 5], 4, [8], rng)
+        assert not np.allclose(
+            encoder.embeddings[0].weight.data, encoder.embeddings[1].weight.data
+        )
+
+
+class TestConvEncoder:
+    def test_downsampling(self, rng):
+        encoder = ConvEncoder(3, [8, 16], rng)
+        out = encoder(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 16, 4, 4)
+        assert encoder.downsample_factor == 4
+
+    def test_selective_pooling(self, rng):
+        encoder = ConvEncoder(3, [8, 16], rng, pools=[True, False])
+        out = encoder(Tensor(rng.normal(size=(1, 3, 8, 8))))
+        assert out.shape == (1, 16, 4, 4)
+        assert encoder.downsample_factor == 2
+
+    def test_pools_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ConvEncoder(3, [8, 16], rng, pools=[True])
+
+
+class TestGCNEncoder:
+    def test_graph_embedding_shape(self, rng):
+        encoder = GCNEncoder(5, [8, 6], rng)
+        nodes = rng.normal(size=(3, 4, 5))
+        adjacency = normalize_adjacency(np.ones((3, 4, 4)) - np.eye(4))
+        mask = np.ones((3, 4))
+        out = encoder((nodes, adjacency, mask))
+        assert out.shape == (3, 6)
+
+    def test_padding_invariance(self, rng):
+        """Adding padded nodes must not change the graph embedding."""
+        encoder = GCNEncoder(2, [4], rng)
+        nodes = rng.normal(size=(1, 2, 2))
+        adj = np.zeros((1, 2, 2))
+        adj[0, 0, 1] = adj[0, 1, 0] = 1.0
+        out_small = encoder((nodes, normalize_adjacency(adj), np.ones((1, 2))))
+        padded_nodes = np.concatenate([nodes, np.zeros((1, 2, 2))], axis=1)
+        padded_adj = np.zeros((1, 4, 4))
+        padded_adj[0, :2, :2] = adj[0]
+        mask = np.array([[1.0, 1.0, 0.0, 0.0]])
+        out_padded = encoder((padded_nodes, normalize_adjacency(padded_adj), mask))
+        np.testing.assert_allclose(out_small.data, out_padded.data, atol=1e-10)
+
+    def test_empty_hidden_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GCNEncoder(5, [], rng)
+
+
+class TestBSTEncoder:
+    def test_shape(self, rng):
+        encoder = BSTEncoder(num_users=10, num_items=20, seq_len=4, dim=8, out_features=6, rng=rng)
+        x = np.zeros((3, 6), dtype=int)
+        assert encoder(x).shape == (3, 6)
+
+    def test_rejects_wrong_width(self, rng):
+        encoder = BSTEncoder(10, 20, 4, 8, 6, rng)
+        with pytest.raises(ValueError):
+            encoder(np.zeros((3, 5), dtype=int))
+
+    def test_user_embedding_matters(self, rng):
+        encoder = BSTEncoder(10, 20, 2, 8, 6, rng)
+        a = np.array([[0, 1, 2, 3]])
+        b = np.array([[5, 1, 2, 3]])  # same items, different user
+        assert not np.allclose(encoder(a).data, encoder(b).data)
+
+    def test_history_order_matters_via_positions(self, rng):
+        encoder = BSTEncoder(10, 20, 2, 8, 6, rng)
+        encoder.position.data[:] = rng.normal(size=encoder.position.data.shape)
+        a = np.array([[0, 1, 2, 3]])
+        b = np.array([[0, 1, 3, 2]])  # swapped history
+        assert not np.allclose(encoder(a).data, encoder(b).data)
+
+
+class TestHeads:
+    def test_linear_head_squeezes_single_output(self, rng):
+        head = LinearHead(6, 1, rng)
+        assert head(Tensor(rng.normal(size=(4, 6)))).shape == (4,)
+
+    def test_linear_head_keeps_multi_output(self, rng):
+        head = LinearHead(6, 3, rng)
+        assert head(Tensor(rng.normal(size=(4, 6)))).shape == (4, 3)
+
+    def test_mlp_head(self, rng):
+        head = MLPHead(6, [8], 2, rng)
+        assert head(Tensor(rng.normal(size=(4, 6)))).shape == (4, 2)
+        head1 = MLPHead(6, [8], 1, rng)
+        assert head1(Tensor(rng.normal(size=(4, 6)))).shape == (4,)
+
+    def test_dense_head_upsamples(self, rng):
+        head = DenseHead(8, 4, 3, scale=4, rng=rng)
+        out = head(Tensor(rng.normal(size=(2, 8, 4, 4))))
+        assert out.shape == (2, 3, 16, 16)
+
+    def test_dense_head_no_upsample(self, rng):
+        head = DenseHead(8, 4, 1, scale=1, rng=rng)
+        assert head(Tensor(rng.normal(size=(2, 8, 4, 4)))).shape == (2, 1, 4, 4)

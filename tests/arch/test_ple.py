@@ -1,0 +1,111 @@
+"""Tests for the PLE (progressive layered extraction) architecture."""
+
+import numpy as np
+import pytest
+
+from repro.arch import PLE, LinearHead, MLPEncoder
+from repro.nn import Tensor
+
+
+def make_ple(rng, levels=2):
+    factories = [lambda: MLPEncoder(6, [8], rng)] + [
+        lambda: MLPEncoder(8, [8], rng) for _ in range(levels - 1)
+    ]
+    gate_in = [6] + [8] * (levels - 1)
+    return PLE(
+        factories[:levels],
+        num_shared_experts=2,
+        num_task_experts=1,
+        heads={"a": LinearHead(8, 1, rng), "b": LinearHead(8, 1, rng)},
+        gate_in_features=gate_in[:levels],
+        rng=rng,
+    )
+
+
+class TestPLE:
+    def test_forward_shapes(self, rng):
+        model = make_ple(rng)
+        outputs = model.forward_all(Tensor(rng.normal(size=(4, 6))))
+        assert all(out.shape == (4,) for out in outputs.values())
+
+    def test_single_level_runs(self, rng):
+        model = make_ple(rng, levels=1)
+        assert model.num_levels == 1
+        out = model.forward(Tensor(rng.normal(size=(3, 6))), "a")
+        assert out.shape == (3,)
+
+    def test_parameter_partition(self, rng):
+        model = make_ple(rng)
+        shared = {id(p) for p in model.shared_parameters()}
+        task_a = {id(p) for p in model.task_specific_parameters("a")}
+        task_b = {id(p) for p in model.task_specific_parameters("b")}
+        everything = {id(p) for p in model.parameters()}
+        assert shared.isdisjoint(task_a) and shared.isdisjoint(task_b)
+        assert task_a.isdisjoint(task_b)
+        assert shared | task_a | task_b == everything
+
+    def test_shared_experts_receive_both_tasks_gradients(self, rng):
+        model = make_ple(rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        for task in ("a", "b"):
+            model.zero_grad()
+            (model.forward(x, task) ** 2).sum().backward()
+            grads = [p.grad for p in model.shared_parameters()]
+            assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    def test_final_level_private_experts_isolated(self, rng):
+        """Only the final level's private experts are task-exclusive: lower
+        levels feed every task through the shared gates (real PLE wiring)."""
+        model = make_ple(rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        model.zero_grad()
+        (model.forward(x, "a") ** 2).sum().backward()
+        for param in model.task_experts["b"][-1].parameters():
+            assert param.grad is None
+        # Lower-level private experts of b DO receive a's gradient.
+        lower = [p.grad for p in model.task_experts["b"][0].parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in lower)
+
+    def test_no_shared_gate_at_final_level(self, rng):
+        model = make_ple(rng, levels=2)
+        assert len(model.shared_gates) == 1
+        single = make_ple(rng, levels=1)
+        assert len(single.shared_gates) == 0
+
+    def test_trains_end_to_end(self, rng):
+        from repro.balancers import EqualWeighting
+        from repro.data import ArrayDataset, TaskSpec
+        from repro.nn.functional import mse_loss
+        from repro.training import MTLTrainer
+
+        x = rng.normal(size=(40, 6))
+        w = rng.normal(size=6)
+        dataset = ArrayDataset(x, {"a": x @ w, "b": x @ -w})
+        tasks = [TaskSpec("a", mse_loss, {}, {}), TaskSpec("b", mse_loss, {}, {})]
+        model = make_ple(rng)
+        trainer = MTLTrainer(model, tasks, EqualWeighting(), lr=1e-2, seed=0)
+        history = trainer.fit(dataset, epochs=8, batch_size=16)
+        curve = history.average_loss_curve()
+        assert curve[-1] < curve[0]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PLE([], 1, 1, {"a": LinearHead(8, 1, rng)}, [], rng)
+        with pytest.raises(ValueError):
+            make_ple(rng, levels=2).__class__(
+                [lambda: MLPEncoder(6, [8], rng)],
+                0,
+                1,
+                {"a": LinearHead(8, 1, rng)},
+                [6],
+                rng,
+            )
+        with pytest.raises(ValueError):
+            PLE(
+                [lambda: MLPEncoder(6, [8], rng)],
+                1,
+                1,
+                {"a": LinearHead(8, 1, rng)},
+                [6, 8],
+                rng,
+            )

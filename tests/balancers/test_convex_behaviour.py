@@ -1,0 +1,114 @@
+"""Behavioural tests: every balancer on explicit convex multi-task problems.
+
+These characterize what each method *does* rather than just that it runs:
+descent on the summed objective, behaviour at Pareto-stationary points, and
+stability over long horizons.
+"""
+
+import numpy as np
+import pytest
+
+import repro.balancers  # noqa: F401
+from repro.core import available_balancers, create_balancer, run_convex_descent
+
+ALL_METHODS = sorted(available_balancers())
+
+
+def conflicting_quadratics(offset=2.0):
+    a = np.array([offset, 0.0, 0.5])
+    b = np.array([-offset, 0.5, -0.5])
+
+    losses = [
+        lambda theta: 0.5 * float(np.sum((theta - a) ** 2)),
+        lambda theta: 0.5 * float(np.sum((theta - b) ** 2)),
+    ]
+    grads = [lambda theta: theta - a, lambda theta: theta - b]
+    return grads, losses, (a + b) / 2.0
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+class TestConvexDescent:
+    def test_total_loss_decreases(self, method):
+        grads, losses, _ = conflicting_quadratics()
+        balancer = create_balancer(method, seed=0)
+        result = run_convex_descent(
+            grads, losses, balancer, np.array([5.0, 5.0, 5.0]), 0.1, 150
+        )
+        total = result["total_loss"]
+        assert total[-1] < total[0] / 2, method
+
+    def test_iterates_stay_bounded(self, method):
+        grads, losses, _ = conflicting_quadratics()
+        balancer = create_balancer(method, seed=0)
+        result = run_convex_descent(
+            grads, losses, balancer, np.array([5.0, 5.0, 5.0]), 0.1, 400
+        )
+        assert np.all(np.isfinite(result["trajectory"]))
+        assert np.linalg.norm(result["final_theta"]) < 50.0
+
+    def test_fixed_point_near_pareto_set(self, method):
+        """All methods should end between the two task optima (the Pareto
+        set of two quadratics is the segment [a, b])."""
+        grads, losses, _ = conflicting_quadratics(offset=1.0)
+        balancer = create_balancer(method, seed=0)
+        result = run_convex_descent(
+            grads, losses, balancer, np.array([3.0, -2.0, 1.0]), 0.1, 600
+        )
+        theta = result["final_theta"]
+        a = np.array([1.0, 0.0, 0.5])
+        b = np.array([-1.0, 0.5, -0.5])
+        # Distance to the segment [a, b]:
+        direction = b - a
+        t = np.clip((theta - a) @ direction / (direction @ direction), 0.0, 1.0)
+        nearest = a + t * direction
+        assert np.linalg.norm(theta - nearest) < 0.5, method
+
+
+class TestMethodSpecificFixedPoints:
+    def test_equal_weighting_finds_joint_optimum(self):
+        grads, losses, optimum = conflicting_quadratics()
+        result = run_convex_descent(
+            grads, losses, create_balancer("equal"), np.array([4.0, 1.0, -1.0]), 0.2, 400
+        )
+        np.testing.assert_allclose(result["final_theta"], optimum, atol=1e-3)
+
+    def test_mocograd_matches_joint_optimum_with_decayed_lambda(self):
+        """With Corollary 1's decaying λ_t the calibration vanishes and
+        MoCoGrad's fixed point coincides with the joint optimum."""
+        grads, losses, optimum = conflicting_quadratics()
+        balancer = create_balancer("mocograd", calibration=0.5, calibration_decay=0.5, seed=0)
+        result = run_convex_descent(
+            grads, losses, balancer, np.array([4.0, 1.0, -1.0]), 0.2, 800
+        )
+        np.testing.assert_allclose(result["final_theta"], optimum, atol=0.02)
+
+    def test_mgda_stalls_at_pareto_stationary_points(self):
+        """MGDA's min-norm direction vanishes on the Pareto set, so it stops
+        at the first Pareto-stationary point it reaches — not necessarily
+        the min-sum optimum."""
+        grads, losses, optimum = conflicting_quadratics()
+        result = run_convex_descent(
+            grads, losses, create_balancer("mgda"), np.array([2.0, 0.2, 0.0]), 0.2, 600
+        )
+        final_direction = np.stack([g(result["final_theta"]) for g in grads])
+        from repro.balancers import min_norm_point
+
+        weights = min_norm_point(final_direction)
+        assert np.linalg.norm(weights @ final_direction) < 1e-2
+
+    def test_nashmtl_balances_proportional_improvements(self):
+        """Nash bargaining equalizes α_k‖g_k‖² products; its fixed point
+        generally differs from the min-sum optimum under asymmetric tasks."""
+        a = np.array([1.0, 0.0])
+        b = np.array([-3.0, 0.0])  # asymmetric optima
+        losses = [
+            lambda theta: 0.5 * float(np.sum((theta - a) ** 2)) + 0.05,
+            lambda theta: 0.5 * float(np.sum((theta - b) ** 2)) + 0.05,
+        ]
+        grads = [lambda theta: theta - a, lambda theta: theta - b]
+        result = run_convex_descent(
+            grads, losses, create_balancer("nashmtl", seed=0), np.array([2.0, 1.0]), 0.1, 500
+        )
+        assert np.all(np.isfinite(result["final_theta"]))
+        # It still lands on the Pareto segment between the optima.
+        assert -3.0 - 1e-6 <= result["final_theta"][0] <= 1.0 + 1e-6

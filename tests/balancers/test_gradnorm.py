@@ -1,0 +1,64 @@
+"""Tests for the GradNorm extension balancer."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import GradNorm
+from repro.core import create_balancer
+
+
+class TestGradNorm:
+    def test_registered(self):
+        assert isinstance(create_balancer("gradnorm"), GradNorm)
+
+    def test_initial_weights_uniform(self):
+        gn = GradNorm()
+        gn.reset(3)
+        np.testing.assert_allclose(gn.weights, np.ones(3))
+
+    def test_weights_sum_preserved(self, rng):
+        gn = GradNorm(seed=0)
+        gn.reset(3)
+        for _ in range(10):
+            gn.balance(rng.normal(size=(3, 8)), np.abs(rng.normal(size=3)) + 0.1)
+        assert gn.weights.sum() == pytest.approx(3.0)
+
+    def test_weights_stay_positive(self, rng):
+        gn = GradNorm(weight_lr=0.5, seed=0)
+        gn.reset(2)
+        for _ in range(30):
+            gn.balance(rng.normal(size=(2, 6)) * 10, np.abs(rng.normal(size=2)) + 0.1)
+        assert np.all(gn.weights > 0)
+
+    def test_slow_task_upweighted(self):
+        """A task whose loss stalls (high inverse training rate) gains weight."""
+        gn = GradNorm(alpha=1.5, weight_lr=0.1, seed=0)
+        gn.reset(2)
+        grads = np.eye(2)
+        # Task 0 keeps its initial loss; task 1 improves 10×.
+        gn.balance(grads, np.array([1.0, 1.0]))
+        for _ in range(20):
+            gn.balance(grads, np.array([1.0, 0.1]))
+        assert gn.weights[0] > gn.weights[1]
+
+    def test_large_gradient_norm_downweighted(self):
+        """With equal training rates, the dominant-norm task loses weight."""
+        gn = GradNorm(alpha=1.0, weight_lr=0.05, seed=0)
+        gn.reset(2)
+        grads = np.array([[10.0, 0.0], [0.0, 0.1]])
+        for _ in range(20):
+            gn.balance(grads, np.array([1.0, 1.0]))
+        assert gn.weights[0] < gn.weights[1]
+
+    def test_output_is_weighted_sum(self, rng):
+        gn = GradNorm(seed=0)
+        gn.reset(2)
+        grads = rng.normal(size=(2, 5))
+        out = gn.balance(grads, np.ones(2))
+        np.testing.assert_allclose(out, gn.weights @ grads)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradNorm(alpha=-1.0)
+        with pytest.raises(ValueError):
+            GradNorm(weight_lr=0.0)

@@ -1,0 +1,342 @@
+"""Per-method semantic tests for the ten baseline balancers."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import (
+    CAGrad,
+    DWA,
+    EqualWeighting,
+    GradDrop,
+    GradVac,
+    IMTL,
+    MGDA,
+    NashMTL,
+    PCGrad,
+    RLW,
+    gradvac_coefficient,
+    min_norm_point,
+    project_conflicting,
+    solve_nash_weights,
+)
+
+
+class TestEqualWeighting:
+    def test_is_plain_sum(self, rng):
+        grads = rng.normal(size=(3, 8))
+        out = EqualWeighting().balance(grads, np.ones(3))
+        np.testing.assert_allclose(out, grads.sum(axis=0))
+
+
+class TestDWA:
+    def test_uniform_weights_before_history(self):
+        dwa = DWA()
+        dwa.reset(3)
+        np.testing.assert_allclose(dwa.weights(), np.ones(3))
+
+    def test_weights_sum_to_k(self):
+        dwa = DWA()
+        dwa.reset(2)
+        dwa.balance(np.ones((2, 4)), np.array([1.0, 2.0]))
+        dwa.balance(np.ones((2, 4)), np.array([0.5, 2.0]))
+        weights = dwa.weights()
+        assert weights.sum() == pytest.approx(2.0)
+
+    def test_stalled_task_upweighted(self):
+        """A task whose loss stopped improving gets a larger weight."""
+        dwa = DWA(temperature=1.0)
+        dwa.reset(2)
+        dwa.balance(np.ones((2, 4)), np.array([1.0, 1.0]))
+        dwa.balance(np.ones((2, 4)), np.array([1.0, 0.5]))  # task 1 improved
+        weights = dwa.weights()
+        assert weights[0] > weights[1]
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            DWA(temperature=0.0)
+
+
+class TestMGDA:
+    def test_two_task_min_norm_closed_form(self):
+        grads = np.array([[1.0, 0.0], [0.0, 2.0]])
+        weights = min_norm_point(grads)
+        # Analytic: γ = v2·(v2−v1)/‖v1−v2‖² = 4/5 for these vectors.
+        np.testing.assert_allclose(weights, [0.8, 0.2], atol=1e-8)
+        combined = weights @ grads
+        # min-norm point is orthogonal to (g1 − g2)
+        assert abs(combined @ (grads[0] - grads[1])) < 1e-8
+
+    def test_identical_gradients_any_simplex_point(self, rng):
+        g = rng.normal(size=6)
+        weights = min_norm_point(np.stack([g, g]))
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_min_norm_smaller_than_average(self, rng):
+        grads = rng.normal(size=(4, 10))
+        weights = min_norm_point(grads)
+        min_norm = np.linalg.norm(weights @ grads)
+        avg_norm = np.linalg.norm(grads.mean(axis=0))
+        assert min_norm <= avg_norm + 1e-9
+
+    def test_weights_on_simplex(self, rng):
+        for k in (2, 3, 5):
+            weights = min_norm_point(rng.normal(size=(k, 12)))
+            assert weights.sum() == pytest.approx(1.0, abs=1e-6)
+            assert np.all(weights >= -1e-9)
+
+    def test_pareto_stationary_point_zero_direction(self):
+        """Opposite gradients ⇒ min-norm point ≈ 0 (Pareto stationary)."""
+        grads = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        out = MGDA().balance(grads, np.ones(2))
+        np.testing.assert_allclose(out, np.zeros(2), atol=1e-8)
+
+    def test_normalization_options(self, rng):
+        grads = rng.normal(size=(3, 8))
+        for norm in ("none", "l2", "loss"):
+            out = MGDA(normalization=norm).balance(grads, np.abs(rng.normal(size=3)) + 0.1)
+            assert np.all(np.isfinite(out))
+
+    def test_bad_normalization(self):
+        with pytest.raises(ValueError):
+            MGDA(normalization="max")
+
+
+class TestPCGrad:
+    def test_projection_removes_conflict(self, rng):
+        for _ in range(10):
+            a, b = rng.normal(size=6), rng.normal(size=6)
+            projected = project_conflicting(a, b)
+            assert projected @ b >= -1e-9
+
+    def test_no_conflict_no_change(self):
+        a = np.array([1.0, 1.0])
+        b = np.array([1.0, 0.0])
+        np.testing.assert_allclose(project_conflicting(a, b), a)
+
+    def test_projection_formula(self):
+        a = np.array([1.0, -1.0])
+        b = np.array([0.0, 1.0])
+        np.testing.assert_allclose(project_conflicting(a, b), [1.0, 0.0])
+
+    def test_zero_partner_no_change(self):
+        a = np.array([1.0, -1.0])
+        np.testing.assert_allclose(project_conflicting(a, np.zeros(2)), a)
+
+    def test_balance_equals_sum_when_aligned(self, rng):
+        base = rng.normal(size=8)
+        grads = np.stack([base, base * 2, base * 0.5])
+        out = PCGrad(seed=0).balance(grads, np.ones(3))
+        np.testing.assert_allclose(out, grads.sum(axis=0))
+
+    def test_two_task_conflict_output(self):
+        grads = np.array([[1.0, 0.0], [-1.0, 1.0]])
+        out = PCGrad(seed=0).balance(grads, np.ones(2))
+        # Each gradient projected on the other's normal plane, then summed.
+        g0 = grads[0] - (grads[0] @ grads[1]) / (grads[1] @ grads[1]) * grads[1]
+        g1 = grads[1] - (grads[1] @ grads[0]) / (grads[0] @ grads[0]) * grads[0]
+        np.testing.assert_allclose(out, g0 + g1)
+
+
+class TestGradDrop:
+    def test_sign_consistent_coordinates_untouched(self, rng):
+        grads = np.abs(rng.normal(size=(3, 10)))  # all positive
+        out = GradDrop(seed=0).balance(grads, np.ones(3))
+        np.testing.assert_allclose(out, grads.sum(axis=0))
+
+    def test_each_coordinate_single_sign(self, rng):
+        grads = rng.normal(size=(4, 50))
+        out = GradDrop(seed=0).balance(grads, np.ones(4))
+        positive_sum = np.where(grads > 0, grads, 0).sum(axis=0)
+        negative_sum = np.where(grads < 0, grads, 0).sum(axis=0)
+        for value, pos, neg in zip(out, positive_sum, negative_sum):
+            assert value == pytest.approx(pos) or value == pytest.approx(neg)
+
+    def test_full_leak_is_equal_weighting(self, rng):
+        grads = rng.normal(size=(3, 20))
+        out = GradDrop(leak=1.0, seed=0).balance(grads, np.ones(3))
+        np.testing.assert_allclose(out, grads.sum(axis=0))
+
+    def test_invalid_leak(self):
+        with pytest.raises(ValueError):
+            GradDrop(leak=1.5)
+
+    def test_dominant_sign_kept_more_often(self):
+        rng_grads = np.zeros((3, 2000))
+        rng_grads[0] = 1.0
+        rng_grads[1] = 1.0
+        rng_grads[2] = -0.5
+        out = GradDrop(seed=0).balance(rng_grads, np.ones(3))
+        # P = 0.5(1 + 1.5/2.5) = 0.8 → ~80% of coordinates keep positive part
+        kept_positive = np.mean(out > 0)
+        assert 0.7 < kept_positive < 0.9
+
+
+class TestGradVac:
+    def test_coefficient_zero_when_target_met(self):
+        assert gradvac_coefficient(1.0, 1.0, cos_current=0.5, cos_target=0.5) == pytest.approx(0.0)
+
+    def test_alignment_reaches_target(self, rng):
+        """After adding α·g_j the similarity equals the target."""
+        for _ in range(10):
+            gi, gj = rng.normal(size=8), rng.normal(size=8)
+            target = 0.3
+            cos = float(gi @ gj / (np.linalg.norm(gi) * np.linalg.norm(gj)))
+            if cos >= target:
+                continue
+            alpha = gradvac_coefficient(
+                np.linalg.norm(gi), np.linalg.norm(gj), cos, target
+            )
+            adjusted = gi + alpha * gj
+            new_cos = adjusted @ gj / (np.linalg.norm(adjusted) * np.linalg.norm(gj))
+            assert new_cos == pytest.approx(target, abs=1e-6)
+
+    def test_targets_track_ema(self):
+        vac = GradVac(ema_beta=0.5, seed=0)
+        vac.reset(2)
+        grads = np.array([[1.0, 0.0], [1.0, 0.0]])  # cos = 1
+        vac.balance(grads, np.ones(2))
+        assert vac.similarity_targets[0, 1] == pytest.approx(0.5)
+
+    def test_no_manipulation_when_above_target(self, rng):
+        vac = GradVac(seed=0)
+        vac.reset(2)
+        base = rng.normal(size=6)
+        grads = np.stack([base, base])  # cos = 1 > target 0
+        out = vac.balance(grads, np.ones(2))
+        np.testing.assert_allclose(out, grads.sum(axis=0))
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            GradVac(ema_beta=0.0)
+
+
+class TestCAGrad:
+    def test_reduces_to_average_when_aligned(self, rng):
+        base = np.abs(rng.normal(size=6)) + 0.5
+        grads = np.stack([base, base])
+        out = CAGrad(c=0.5, rescale=False, seed=0).balance(grads, np.ones(2))
+        # g_w = g0 = base; update = g0 (1 + c) — collinear with the average.
+        cosine = out @ base / (np.linalg.norm(out) * np.linalg.norm(base))
+        assert cosine == pytest.approx(1.0, abs=1e-6)
+
+    def test_constraint_satisfied(self, rng):
+        """‖d − g₀‖ ≤ c‖g₀‖ (before rescaling)."""
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            grads = local.normal(size=(3, 10))
+            c = 0.5
+            out = CAGrad(c=c, rescale=False, seed=0).balance(grads, np.ones(3))
+            g0 = grads.mean(axis=0)
+            assert np.linalg.norm(out - g0) <= c * np.linalg.norm(g0) + 1e-6
+
+    def test_worst_task_improvement_better_than_average(self):
+        """CAGrad's defining property: min_k ⟨g_k, d⟩ ≥ min_k ⟨g_k, g₀⟩."""
+        grads = np.array([[1.0, 0.1], [-0.8, 0.4], [0.3, -0.9]])
+        out = CAGrad(c=0.5, rescale=False, seed=0).balance(grads, np.ones(3))
+        g0 = grads.mean(axis=0)
+        assert grads @ out @ np.ones(3) is not None  # sanity
+        assert (grads @ out).min() >= (grads @ g0).min() - 1e-6
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            CAGrad(c=1.0)
+
+    def test_rescale_shrinks(self, rng):
+        grads = rng.normal(size=(2, 6))
+        raw = CAGrad(c=0.5, rescale=False, seed=0).balance(grads, np.ones(2))
+        scaled = CAGrad(c=0.5, rescale=True, seed=0).balance(grads, np.ones(2))
+        np.testing.assert_allclose(scaled * (1 + 0.25), raw)
+
+
+class TestIMTL:
+    def test_equal_projections_property(self, rng):
+        """IMTL-G: the combined gradient projects equally onto every unit g_k."""
+        imtl = IMTL(use_loss_balance=False)
+        grads = rng.normal(size=(3, 12))
+        out = imtl.balance(grads, np.ones(3))
+        units = grads / np.linalg.norm(grads, axis=1, keepdims=True)
+        projections = units @ out
+        np.testing.assert_allclose(projections, projections[0] * np.ones(3), rtol=1e-6)
+
+    def test_single_task_identity(self, rng):
+        imtl = IMTL(use_loss_balance=False)
+        grads = rng.normal(size=(1, 5))
+        np.testing.assert_allclose(imtl.balance(grads, np.ones(1)), grads[0])
+
+    def test_loss_scales_move_toward_unit_scale(self):
+        imtl = IMTL(use_loss_balance=True, loss_lr=0.1)
+        imtl.reset(2)
+        for _ in range(50):
+            imtl.balance(np.eye(2), np.array([10.0, 0.1]))
+        scales = imtl.loss_scales()
+        # Large loss gets scaled down, small loss scaled up.
+        assert scales[0] < 1.0 < scales[1]
+
+    def test_loss_scales_requires_reset(self):
+        with pytest.raises(RuntimeError):
+            IMTL().loss_scales()
+
+
+class TestRLW:
+    def test_weights_random_but_seeded(self, rng):
+        grads = rng.normal(size=(3, 8))
+        a = RLW(seed=1).balance(grads, np.ones(3))
+        b = RLW(seed=1).balance(grads, np.ones(3))
+        c = RLW(seed=2).balance(grads, np.ones(3))
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_output_in_convex_cone(self, rng):
+        """Output is a positive combination of task gradients scaled by K."""
+        grads = np.eye(3)
+        out = RLW(seed=0).balance(grads, np.ones(3))
+        assert np.all(out > 0)
+        assert out.sum() == pytest.approx(3.0)
+
+
+class TestNashMTL:
+    def test_optimality_condition(self, rng):
+        """Solution satisfies GᵀG α = 1/α."""
+        grads = rng.normal(size=(3, 10))
+        gram = grads @ grads.T
+        alpha = solve_nash_weights(gram)
+        residual = gram @ alpha - 1.0 / alpha
+        assert np.max(np.abs(residual)) < 1e-6
+
+    def test_single_task_closed_form(self):
+        gram = np.array([[4.0]])  # ‖g‖² = 4 ⇒ α = 1/‖g‖ = 0.5
+        alpha = solve_nash_weights(gram)
+        np.testing.assert_allclose(alpha, [0.5], rtol=1e-6)
+
+    def test_orthogonal_tasks_closed_form(self):
+        """For orthogonal gradients α_k = 1/‖g_k‖."""
+        gram = np.diag([4.0, 9.0])
+        alpha = solve_nash_weights(gram)
+        np.testing.assert_allclose(alpha, [0.5, 1.0 / 3.0], rtol=1e-6)
+
+    def test_weights_positive(self, rng):
+        grads = rng.normal(size=(4, 15))
+        alpha = solve_nash_weights(grads @ grads.T)
+        assert np.all(alpha > 0)
+
+    def test_update_every_caches_weights(self, rng):
+        nash = NashMTL(update_weights_every=10, seed=0)
+        nash.reset(2)
+        nash.balance(rng.normal(size=(2, 6)), np.ones(2))
+        cached = nash.weights.copy()
+        nash.balance(rng.normal(size=(2, 6)), np.ones(2))
+        np.testing.assert_allclose(nash.weights, cached)
+
+    def test_max_norm_caps_update(self, rng):
+        nash = NashMTL(max_norm=0.1, seed=0)
+        out = nash.balance(rng.normal(size=(3, 8)) * 100, np.ones(3))
+        assert np.linalg.norm(out) <= 0.1 + 1e-9
+
+    def test_degenerate_zero_gradients(self):
+        nash = NashMTL(seed=0)
+        out = nash.balance(np.zeros((3, 5)), np.ones(3))
+        np.testing.assert_allclose(out, np.zeros(5))
+
+    def test_invalid_update_every(self):
+        with pytest.raises(ValueError):
+            NashMTL(update_weights_every=0)

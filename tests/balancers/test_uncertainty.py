@@ -1,0 +1,58 @@
+"""Tests for the uncertainty-weighting extension balancer."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import UncertaintyWeighting
+from repro.core import create_balancer
+
+
+class TestUncertaintyWeighting:
+    def test_registered(self):
+        assert isinstance(create_balancer("uncertainty"), UncertaintyWeighting)
+
+    def test_initial_weights_unit(self):
+        balancer = UncertaintyWeighting()
+        balancer.reset(3)
+        np.testing.assert_allclose(balancer.weights(), np.ones(3))
+
+    def test_noisy_task_downweighted(self):
+        """A task with a persistently large loss gets σ² up → weight down."""
+        balancer = UncertaintyWeighting(s_lr=0.1)
+        balancer.reset(2)
+        grads = np.eye(2)
+        for _ in range(50):
+            balancer.balance(grads, np.array([10.0, 0.4]))
+        weights = balancer.weights()
+        assert weights[0] < weights[1]
+
+    def test_equilibrium_at_loss_half_inverse(self):
+        """s converges where e^{−s}L = 1/2, i.e. weight = 1/(2L)."""
+        balancer = UncertaintyWeighting(s_lr=0.2)
+        balancer.reset(1)
+        for _ in range(600):
+            balancer.balance(np.ones((1, 3)), np.array([4.0]))
+        assert balancer.weights()[0] == pytest.approx(1.0 / 8.0, rel=1e-2)
+
+    def test_output_is_weighted_sum(self, rng):
+        balancer = UncertaintyWeighting()
+        balancer.reset(2)
+        grads = rng.normal(size=(2, 6))
+        out = balancer.balance(grads, np.ones(2))
+        # First call uses the pre-update (unit) weights.
+        np.testing.assert_allclose(out, grads.sum(axis=0))
+
+    def test_log_variance_clamped(self):
+        balancer = UncertaintyWeighting(s_lr=5.0, clamp=2.0)
+        balancer.reset(1)
+        for _ in range(100):
+            balancer.balance(np.ones((1, 2)), np.array([1000.0]))
+        assert abs(balancer.log_variance[0]) <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UncertaintyWeighting(s_lr=0.0)
+        with pytest.raises(ValueError):
+            UncertaintyWeighting(clamp=0.0)
+        with pytest.raises(RuntimeError):
+            UncertaintyWeighting().weights()

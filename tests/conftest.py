@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def numerical_gradient(fn, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued tensor function."""
+    grad = np.zeros_like(x0, dtype=np.float64)
+    for index in np.ndindex(*x0.shape):
+        plus = x0.copy()
+        plus[index] += eps
+        minus = x0.copy()
+        minus[index] -= eps
+        grad[index] = (fn(Tensor(plus)).item() - fn(Tensor(minus)).item()) / (2 * eps)
+    return grad
+
+
+def assert_gradcheck(fn, x0: np.ndarray, tol: float = 1e-6) -> None:
+    """Check analytic vs numerical gradients of ``fn`` at ``x0``."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = fn(x)
+    assert out.size == 1, "gradcheck needs a scalar output"
+    out.backward()
+    numeric = numerical_gradient(fn, np.asarray(x0, dtype=np.float64))
+    error = np.max(np.abs(x.grad - numeric))
+    assert error < tol, f"gradient mismatch: max abs error {error:.3e}"

@@ -1,0 +1,74 @@
+"""Tests for the balancer base class and registry."""
+
+import numpy as np
+import pytest
+
+import repro.balancers  # noqa: F401 - triggers registration
+from repro.core import (
+    GradientBalancer,
+    available_balancers,
+    create_balancer,
+    register_balancer,
+)
+
+EXPECTED = {
+    "equal",
+    "dwa",
+    "mgda",
+    "pcgrad",
+    "graddrop",
+    "gradvac",
+    "cagrad",
+    "imtl",
+    "rlw",
+    "nashmtl",
+    "mocograd",
+}
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        assert EXPECTED <= set(available_balancers())
+
+    def test_create_by_name(self):
+        balancer = create_balancer("pcgrad", seed=3)
+        assert balancer.name == "pcgrad"
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            create_balancer("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_balancer("equal")
+            class Duplicate(GradientBalancer):
+                pass
+
+    def test_kwargs_forwarded(self):
+        balancer = create_balancer("mocograd", calibration=0.5)
+        assert balancer.calibration == 0.5
+
+
+class TestBaseValidation:
+    def test_balance_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            GradientBalancer().balance(np.ones((2, 3)), np.ones(2))
+
+    def test_check_inputs_rejects_1d_grads(self):
+        balancer = create_balancer("equal")
+        with pytest.raises(ValueError):
+            balancer.balance(np.ones(5), np.ones(1))
+
+    def test_check_inputs_autoresets(self):
+        balancer = create_balancer("equal")
+        balancer.balance(np.ones((3, 4)), np.ones(3))
+        assert balancer.num_tasks == 3
+
+    def test_reset_reseeds_rng(self):
+        balancer = create_balancer("rlw", seed=5)
+        balancer.reset(3)
+        first = balancer.balance(np.eye(3), np.ones(3)).copy()
+        balancer.reset(3)
+        second = balancer.balance(np.eye(3), np.ones(3))
+        np.testing.assert_allclose(first, second)

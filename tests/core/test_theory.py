@@ -1,0 +1,188 @@
+"""Tests for the theory module (Theorems 1–3, Corollary 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MoCoGrad,
+    calibrated_gradient_bound,
+    corollary1_rate_exponent,
+    decaying_schedule,
+    regret,
+    regret_bound,
+    run_convex_descent,
+)
+from repro.balancers import EqualWeighting, PCGrad
+
+
+def quadratic_two_task(offset=2.0):
+    """Two convex quadratics with conflicting minimizers ±offset."""
+    a = np.array([offset, 0.0])
+    b = np.array([-offset, 0.5])
+
+    def loss1(theta):
+        return 0.5 * float(np.sum((theta - a) ** 2))
+
+    def loss2(theta):
+        return 0.5 * float(np.sum((theta - b) ** 2))
+
+    def grad1(theta):
+        return theta - a
+
+    def grad2(theta):
+        return theta - b
+
+    return [grad1, grad2], [loss1, loss2], (a + b) / 2.0
+
+
+class TestTheorem1Bound:
+    def test_formula(self):
+        assert calibrated_gradient_bound(3, 0.5, 2.0) == pytest.approx(9.0)
+
+    def test_strictly_below_2kg(self):
+        for lam in (0.1, 0.5, 1.0):
+            assert calibrated_gradient_bound(4, lam, 1.0) <= 2 * 4 * 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrated_gradient_bound(0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            calibrated_gradient_bound(2, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            calibrated_gradient_bound(2, 0.5, -1.0)
+
+
+class TestTheorem2Convergence:
+    def test_mocograd_descends_on_convex_problem(self):
+        grads, losses, _ = quadratic_two_task()
+        result = run_convex_descent(
+            grads, losses, MoCoGrad(calibration=0.3, seed=0), np.array([5.0, 5.0]),
+            step_size=0.2, steps=100,
+        )
+        total = result["total_loss"]
+        # Early steps may wiggle while the momentum warms up; after that the
+        # loss decreases monotonically (Theorem 2's descent property).
+        assert np.all(np.diff(total[10:]) <= 1e-9)
+        assert total[-1] < total[0] / 10
+
+    def test_mocograd_converges_to_joint_optimum(self):
+        grads, losses, optimum = quadratic_two_task()
+        result = run_convex_descent(
+            grads, losses, MoCoGrad(calibration=0.2, seed=0), np.array([4.0, -3.0]),
+            step_size=0.2, steps=500,
+        )
+        np.testing.assert_allclose(result["final_theta"], optimum, atol=0.05)
+
+    def test_matches_equal_weighting_limit(self):
+        """On a conflict-free problem MoCoGrad reduces to plain descent."""
+        a = np.array([1.0, 1.0])
+
+        def loss(theta):
+            return 0.5 * float(np.sum((theta - a) ** 2))
+
+        def grad(theta):
+            return theta - a
+
+        moco = run_convex_descent(
+            [grad, grad], [loss, loss], MoCoGrad(seed=0), np.zeros(2), 0.1, 50
+        )
+        equal = run_convex_descent(
+            [grad, grad], [loss, loss], EqualWeighting(), np.zeros(2), 0.1, 50
+        )
+        np.testing.assert_allclose(moco["final_theta"], equal["final_theta"])
+
+    def test_pcgrad_reaches_low_loss_but_biased_fixed_point(self):
+        """PCGrad descends, but on persistently conflicting quadratics its
+        fixed point deviates from the joint optimum — the bias MoCoGrad's
+        momentum calibration avoids (cf. the paper's motivation)."""
+        grads, losses, optimum = quadratic_two_task()
+        start = np.array([4.0, -3.0])
+        result = run_convex_descent(grads, losses, PCGrad(seed=0), start, 0.2, 500)
+        start_loss = sum(fn(start) for fn in losses)
+        final_loss = sum(fn(result["final_theta"]) for fn in losses)
+        assert final_loss < start_loss / 2
+        moco = run_convex_descent(
+            grads, losses, MoCoGrad(calibration=0.2, seed=0), start, 0.2, 500
+        )
+        moco_error = np.linalg.norm(moco["final_theta"] - optimum)
+        pcgrad_error = np.linalg.norm(result["final_theta"] - optimum)
+        assert moco_error < pcgrad_error
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_convex_descent([lambda t: t], [], EqualWeighting(), np.zeros(2), 0.1, 1)
+
+
+class TestRegret:
+    def test_zero_for_optimal_play(self):
+        assert regret([1.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_accumulates(self):
+        assert regret([2.0, 3.0], [1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            regret([1.0], [1.0, 2.0])
+
+    def test_empirical_regret_below_theorem3_bound(self):
+        """The measured regret of MoCoGrad on a convex problem respects Eq. 17."""
+        grads, losses, optimum = quadratic_two_task(offset=1.0)
+        theta0 = np.array([2.0, 2.0])
+        steps = 100
+        step_size = 0.1
+        result = run_convex_descent(
+            grads, losses, MoCoGrad(calibration=0.2, seed=0), theta0, step_size, steps
+        )
+        optimal_total = sum(fn(optimum) for fn in losses)
+        path_losses = result["total_loss"]
+        measured = regret(path_losses, [optimal_total] * steps)
+        diameter = float(np.linalg.norm(theta0 - optimum)) * 4
+        grad_bound = max(
+            np.linalg.norm(np.stack([g(t) for g in grads]), axis=1).max()
+            for t in result["trajectory"]
+        )
+        bound = regret_bound(
+            steps, 2, diameter, grad_bound, 2, step_size, 0.2, decay_power=0.5
+        )
+        assert measured <= bound
+
+    def test_regret_bound_monotone_in_horizon(self):
+        small = regret_bound(10, 3, 1.0, 1.0, 2, 0.1, 0.1)
+        large = regret_bound(1000, 3, 1.0, 1.0, 2, 0.1, 0.1)
+        assert large > small
+
+    def test_regret_bound_sublinear(self):
+        """Corollary 1: R(T)/T → 0 for p = 1/2."""
+        ratios = [
+            regret_bound(t, 2, 1.0, 1.0, 2, 0.1, 0.1, decay_power=0.5) / t
+            for t in (100, 1000, 10000)
+        ]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_regret_bound_validation(self):
+        with pytest.raises(ValueError):
+            regret_bound(0, 2, 1.0, 1.0, 2, 0.1, 0.1)
+
+
+class TestCorollary1:
+    def test_exponent_at_half(self):
+        assert corollary1_rate_exponent(0.5) == pytest.approx(0.5)
+
+    def test_exponent_shape(self):
+        # max(p, 1−p, 1−3p): large for extreme p
+        assert corollary1_rate_exponent(0.1) == pytest.approx(0.9)
+        assert corollary1_rate_exponent(0.9) == pytest.approx(0.9)
+
+    def test_half_is_optimal(self):
+        grid = np.linspace(0.05, 0.95, 50)
+        exponents = [corollary1_rate_exponent(p) for p in grid]
+        best = grid[int(np.argmin(exponents))]
+        assert best == pytest.approx(0.5, abs=0.05)
+
+    def test_schedule_values(self):
+        schedule = decaying_schedule(1.0, 4, 0.5)
+        np.testing.assert_allclose(schedule, [1.0, 1 / np.sqrt(2), 1 / np.sqrt(3), 0.5])
+
+    def test_schedule_decreasing(self):
+        schedule = decaying_schedule(0.3, 100, 0.5)
+        assert np.all(np.diff(schedule) < 0)

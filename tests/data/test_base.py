@@ -1,0 +1,146 @@
+"""Tests for dataset machinery: TaskSpec, ArrayDataset, DataLoader, splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MULTI_INPUT,
+    SINGLE_INPUT,
+    ArrayDataset,
+    Benchmark,
+    DataLoader,
+    TaskSpec,
+    train_val_test_split,
+)
+from repro.nn.functional import mse_loss
+
+
+class TestTaskSpec:
+    def test_valid_construction(self):
+        spec = TaskSpec("t", mse_loss, {"rmse": lambda o, t: 0.0}, {"rmse": False})
+        assert spec.name == "t"
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", mse_loss, {"rmse": lambda o, t: 0.0}, {})
+
+
+class TestArrayDataset:
+    def test_length(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(10, 3)), rng.normal(size=10))
+        assert len(dataset) == 10
+
+    def test_batch_indexing(self, rng):
+        inputs = rng.normal(size=(10, 3))
+        targets = rng.normal(size=10)
+        dataset = ArrayDataset(inputs, targets)
+        x, y = dataset.batch(np.array([1, 3]))
+        np.testing.assert_allclose(x, inputs[[1, 3]])
+        np.testing.assert_allclose(y, targets[[1, 3]])
+
+    def test_dict_targets(self, rng):
+        dataset = ArrayDataset(
+            rng.normal(size=(6, 2)), {"a": rng.normal(size=6), "b": rng.normal(size=6)}
+        )
+        _, targets = dataset.batch(np.array([0, 5]))
+        assert set(targets) == {"a", "b"}
+        assert len(targets["a"]) == 2
+
+    def test_tuple_inputs(self, rng):
+        inputs = (rng.normal(size=(5, 2, 2)), rng.normal(size=(5, 2, 2)), np.ones((5, 2)))
+        dataset = ArrayDataset(inputs, rng.normal(size=5))
+        x, _ = dataset.batch(np.array([0, 1]))
+        assert isinstance(x, tuple)
+        assert all(part.shape[0] == 2 for part in x)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 2)), rng.normal(size=4))
+
+    def test_dict_target_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 2)), {"a": rng.normal(size=4)})
+
+    def test_subset(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(8, 2)), rng.normal(size=8))
+        sub = dataset.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+
+    def test_all(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(4, 2)), rng.normal(size=4))
+        x, y = dataset.all()
+        assert len(x) == 4
+
+
+class TestDataLoader:
+    def test_batch_count(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(10, 2)), rng.normal(size=10))
+        assert len(DataLoader(dataset, 3, rng=rng)) == 4
+        assert len(DataLoader(dataset, 3, rng=rng, drop_last=True)) == 3
+
+    def test_covers_all_samples(self, rng):
+        targets = np.arange(10.0)
+        dataset = ArrayDataset(np.zeros((10, 1)), targets)
+        loader = DataLoader(dataset, 3, rng=rng)
+        seen = np.concatenate([y for _, y in loader])
+        assert sorted(seen) == sorted(targets)
+
+    def test_shuffle_changes_order_between_epochs(self):
+        dataset = ArrayDataset(np.zeros((50, 1)), np.arange(50.0))
+        loader = DataLoader(dataset, 50, rng=np.random.default_rng(0))
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.allclose(first, second)
+
+    def test_no_shuffle_keeps_order(self):
+        dataset = ArrayDataset(np.zeros((5, 1)), np.arange(5.0))
+        loader = DataLoader(dataset, 2, shuffle=False)
+        batches = [y for _, y in loader]
+        np.testing.assert_allclose(np.concatenate(batches), np.arange(5.0))
+
+    def test_drop_last(self):
+        dataset = ArrayDataset(np.zeros((5, 1)), np.arange(5.0))
+        loader = DataLoader(dataset, 2, shuffle=False, drop_last=True)
+        assert sum(len(y) for _, y in loader) == 4
+
+    def test_invalid_batch_size(self, rng):
+        dataset = ArrayDataset(np.zeros((5, 1)), np.zeros(5))
+        with pytest.raises(ValueError):
+            DataLoader(dataset, 0)
+
+
+class TestSplits:
+    def test_proportions(self, rng):
+        train, val, test = train_val_test_split(100, rng, 0.2, 0.1)
+        assert len(test) == 10
+        assert len(val) == 20
+        assert len(train) == 70
+
+    def test_disjoint_and_complete(self, rng):
+        train, val, test = train_val_test_split(50, rng)
+        union = np.concatenate([train, val, test])
+        assert sorted(union) == list(range(50))
+
+    def test_invalid_fractions(self, rng):
+        with pytest.raises(ValueError):
+            train_val_test_split(10, rng, 0.5, 0.5)
+
+
+class TestBenchmark:
+    def _dummy(self, mode=SINGLE_INPUT):
+        spec = TaskSpec("t", mse_loss, {}, {})
+        data = ArrayDataset(np.zeros((4, 2)), {"t": np.zeros(4)})
+        return Benchmark("test", mode, [spec], data, data, data, lambda *a: None, lambda *a: None)
+
+    def test_task_lookup(self):
+        bench = self._dummy()
+        assert bench.task("t").name == "t"
+        with pytest.raises(KeyError):
+            bench.task("missing")
+
+    def test_task_names(self):
+        assert self._dummy().task_names == ["t"]
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            self._dummy(mode="both")

@@ -1,0 +1,78 @@
+"""Tests for the generator options added for the analysis experiments."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_movielens, make_officehome, make_qm9
+from repro.data.movielens import GENRES
+from repro.data.qm9 import PROPERTIES
+
+
+class TestSharedMoviePool:
+    def test_shared_pool_overlaps(self):
+        bench = make_movielens(
+            genres=GENRES[:2],
+            records_per_genre=200,
+            num_movies=60,
+            shared_movie_pool=True,
+            seed=0,
+        )
+        movie_sets = []
+        for genre in GENRES[:2]:
+            inputs, _ = bench.train[genre].all()
+            movie_sets.append(set(inputs[:, 1]))
+        assert movie_sets[0] & movie_sets[1]
+
+    def test_default_pools_disjoint(self):
+        bench = make_movielens(
+            genres=GENRES[:2], records_per_genre=200, num_movies=60, seed=0
+        )
+        movie_sets = []
+        for genre in GENRES[:2]:
+            inputs, _ = bench.train[genre].all()
+            movie_sets.append(set(inputs[:, 1]))
+        assert not (movie_sets[0] & movie_sets[1])
+
+
+class TestQM9EvalPools:
+    def test_independent_eval_sizes(self):
+        bench = make_qm9(
+            properties=PROPERTIES[:2],
+            molecules_per_task=25,
+            val_molecules=30,
+            test_molecules=50,
+            seed=0,
+        )
+        for prop in PROPERTIES[:2]:
+            assert len(bench.train[prop]) == 25
+            assert len(bench.val[prop]) == 30
+            assert len(bench.test[prop]) == 50
+
+    def test_eval_targets_noise_free_and_standardized(self):
+        """Test targets carry no injected label noise (deterministic from
+        the graph invariants), so evaluation measures the model only."""
+        a = make_qm9(properties=("u0",), molecules_per_task=20, noise=0.9, seed=3)
+        b = make_qm9(properties=("u0",), molecules_per_task=20, noise=0.0, seed=3)
+        _, ta = a.test["u0"].all()
+        _, tb = b.test["u0"].all()
+        np.testing.assert_allclose(ta, tb)
+
+
+class TestOfficeHomeConflict:
+    def test_conflict_zero_means_same_prototype_rendering(self):
+        """With domain_conflict=0 the only inter-domain difference is the
+        style transform; higher conflict adds per-class distortions that
+        change the class-conditional image statistics."""
+        calm = make_officehome(
+            num_classes=4, samples_per_domain=100, domain_conflict=0.0, seed=0
+        )
+        stressed = make_officehome(
+            num_classes=4, samples_per_domain=100, domain_conflict=1.5, seed=0
+        )
+        calm_var = np.var(calm.train["Art"].all()[0])
+        stressed_var = np.var(stressed.train["Art"].all()[0])
+        assert stressed_var > calm_var
+
+    def test_negative_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            make_officehome(num_classes=3, domain_conflict=-0.1)

@@ -1,0 +1,83 @@
+"""Tests for the latent task-factor toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import correlated_task_matrix, orthogonal_complement_mix, task_directions
+
+
+class TestTaskDirections:
+    def test_unit_norm(self, rng):
+        directions = task_directions(5, 10, 0.5, rng)
+        np.testing.assert_allclose(np.linalg.norm(directions, axis=1), np.ones(5))
+
+    def test_full_relatedness_identical_up_to_sign(self, rng):
+        directions = task_directions(4, 8, 1.0, rng)
+        cosines = directions @ directions.T
+        np.testing.assert_allclose(np.abs(cosines), np.ones((4, 4)), atol=1e-9)
+
+    def test_relatedness_monotone_in_expectation(self):
+        """Higher relatedness ⇒ higher average pairwise cosine."""
+        averages = []
+        for level in (0.0, 0.5, 0.95):
+            cosines = []
+            for seed in range(30):
+                local = np.random.default_rng(seed)
+                d = task_directions(2, 20, level, local)
+                cosines.append(d[0] @ d[1])
+            averages.append(np.mean(cosines))
+        assert averages[0] < averages[1] < averages[2]
+
+    def test_invalid_relatedness(self, rng):
+        with pytest.raises(ValueError):
+            task_directions(2, 4, 1.5, rng)
+
+    def test_dim_guard(self, rng):
+        with pytest.raises(ValueError):
+            task_directions(2, 1, 0.5, rng)
+
+
+class TestCorrelatedTaskMatrix:
+    def test_exact_gram(self, rng):
+        target = np.array([[1.0, 0.3], [0.3, 1.0]])
+        directions = correlated_task_matrix(2, 6, target, rng)
+        np.testing.assert_allclose(directions @ directions.T, target, atol=1e-10)
+
+    def test_negative_correlation(self, rng):
+        target = np.array([[1.0, -0.8], [-0.8, 1.0]])
+        directions = correlated_task_matrix(2, 5, target, rng)
+        assert directions[0] @ directions[1] == pytest.approx(-0.8)
+
+    def test_rejects_non_psd(self, rng):
+        bad = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(ValueError):
+            correlated_task_matrix(2, 5, bad, rng)
+
+    def test_rejects_small_dim(self, rng):
+        with pytest.raises(ValueError):
+            correlated_task_matrix(3, 2, np.eye(3), rng)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            correlated_task_matrix(2, 5, np.eye(3), rng)
+
+
+class TestOrthogonalComplementMix:
+    @given(st.floats(-0.99, 0.99), st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_cosine(self, cosine, seed):
+        local = np.random.default_rng(seed)
+        base = local.normal(size=8)
+        out = orthogonal_complement_mix(base, cosine, local)
+        achieved = out @ base / (np.linalg.norm(out) * np.linalg.norm(base))
+        assert achieved == pytest.approx(cosine, abs=1e-9)
+
+    def test_unit_output(self, rng):
+        out = orthogonal_complement_mix(rng.normal(size=5), 0.3, rng)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_invalid_cosine(self, rng):
+        with pytest.raises(ValueError):
+            orthogonal_complement_mix(np.ones(3), 1.5, rng)

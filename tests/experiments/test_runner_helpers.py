@@ -1,0 +1,57 @@
+"""Tests for the runner's seed-averaging helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_mtl
+from repro.experiments import RunConfig, average_metric_dicts, run_method, run_stl_baseline
+
+
+class TestAverageMetricDicts:
+    def test_single_run_identity(self):
+        run = {"t": {"rmse": 1.5, "mae": 1.0}}
+        assert average_metric_dicts([run]) == run
+
+    def test_mean_across_runs(self):
+        runs = [
+            {"t": {"rmse": 1.0}},
+            {"t": {"rmse": 3.0}},
+        ]
+        assert average_metric_dicts(runs)["t"]["rmse"] == pytest.approx(2.0)
+
+    def test_multiple_tasks_and_metrics(self):
+        runs = [
+            {"a": {"x": 1.0, "y": 2.0}, "b": {"x": 0.0, "y": 0.0}},
+            {"a": {"x": 3.0, "y": 4.0}, "b": {"x": 2.0, "y": 2.0}},
+        ]
+        averaged = average_metric_dicts(runs)
+        assert averaged["a"] == {"x": 2.0, "y": 3.0}
+        assert averaged["b"] == {"x": 1.0, "y": 1.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_metric_dicts([])
+
+
+class TestSeedAveraging:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_synthetic_mtl(num_tasks=2, num_samples=200, seed=0)
+
+    def test_multi_seed_differs_from_single(self, bench):
+        single = run_method(bench, "equal", RunConfig(epochs=2, batch_size=32, seed=0, num_seeds=1))
+        double = run_method(bench, "equal", RunConfig(epochs=2, batch_size=32, seed=0, num_seeds=2))
+        # Averaging a second (different-seed) run must change the numbers.
+        assert single["task0"]["rmse"] != double["task0"]["rmse"]
+
+    def test_deterministic_given_seed_and_count(self, bench):
+        config = RunConfig(epochs=2, batch_size=32, seed=3, num_seeds=2)
+        a = run_method(bench, "equal", config)
+        b = run_method(bench, "equal", config)
+        assert a == b
+
+    def test_stl_baseline_structure(self, bench):
+        config = RunConfig(epochs=1, batch_size=32, seed=0, num_seeds=1)
+        stl = run_stl_baseline(bench, config)
+        assert set(stl) == {"task0", "task1"}
+        assert "rmse" in stl["task0"]

@@ -1,0 +1,264 @@
+"""Tests for every evaluation metric, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    abs_error,
+    accuracy,
+    angular_distances,
+    binary_accuracy,
+    confusion_matrix,
+    delta_m,
+    delta_m_from_results,
+    mae,
+    mean_iou,
+    normal_metrics,
+    pixel_accuracy,
+    rel_error,
+    rmse,
+    roc_auc,
+)
+
+
+def brute_force_auc(scores, labels):
+    """O(n²) AUC for cross-checking the rank-based implementation."""
+    pos = scores[labels > 0.5]
+    neg = scores[labels <= 0.5]
+    total = 0.0
+    for p in pos:
+        for n in neg:
+            if p > n:
+                total += 1.0
+            elif p == n:
+                total += 0.5
+    return total / (len(pos) * len(neg))
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [0, 0, 1, 1]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [0, 0, 1, 1]) == 0.0
+
+    def test_random_is_half(self):
+        assert roc_auc([0.5, 0.5, 0.5, 0.5], [0, 1, 0, 1]) == pytest.approx(0.5)
+
+    def test_single_class_degenerate(self):
+        assert roc_auc([0.1, 0.9], [1, 1]) == 0.5
+        assert roc_auc([0.1, 0.9], [0, 0]) == 0.5
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(10):
+            scores = rng.normal(size=30)
+            labels = (rng.random(30) > 0.6).astype(float)
+            if labels.sum() in (0, 30):
+                continue
+            assert roc_auc(scores, labels) == pytest.approx(
+                brute_force_auc(scores, labels)
+            )
+
+    def test_ties_handled(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.9])
+        labels = np.array([0, 1, 0, 1])
+        assert roc_auc(scores, labels) == pytest.approx(
+            brute_force_auc(scores, labels)
+        )
+
+    def test_monotone_transform_invariance(self, rng):
+        scores = rng.normal(size=40)
+        labels = (rng.random(40) > 0.5).astype(float)
+        original = roc_auc(scores, labels)
+        transformed = roc_auc(np.exp(scores), labels)
+        assert original == pytest.approx(transformed)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc([0.1], [0, 1])
+
+    @given(st.integers(5, 40), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_in_unit_interval(self, n, seed):
+        local = np.random.default_rng(seed)
+        scores = local.normal(size=n)
+        labels = (local.random(n) > 0.5).astype(float)
+        assert 0.0 <= roc_auc(scores, labels) <= 1.0
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([0, 1, 2], [0, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([0], [0, 1])
+
+    def test_binary_accuracy_threshold(self):
+        assert binary_accuracy([0.4, 0.6], [0, 1]) == 1.0
+        assert binary_accuracy([0.4, 0.6], [1, 0]) == 0.0
+
+
+class TestRegressionMetrics:
+    def test_mae_value(self):
+        assert mae([1.0, 3.0], [0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_rmse_value(self):
+        assert rmse([3.0, 4.0], [0.0, 0.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self, rng):
+        for _ in range(10):
+            p, t = rng.normal(size=20), rng.normal(size=20)
+            assert rmse(p, t) >= mae(p, t) - 1e-12
+
+    def test_perfect_prediction_zero(self, rng):
+        x = rng.normal(size=10)
+        assert mae(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+
+    def test_abs_error_is_mae(self, rng):
+        p, t = rng.normal(size=15), rng.normal(size=15)
+        assert abs_error(p, t) == mae(p, t)
+
+    def test_rel_error_scale(self):
+        assert rel_error([11.0], [10.0]) == pytest.approx(0.1)
+
+    def test_rel_error_guards_zero_target(self):
+        assert np.isfinite(rel_error([1.0], [0.0]))
+
+    def test_shape_broadcast_flattening(self, rng):
+        p = rng.normal(size=(2, 1, 4))
+        t = rng.normal(size=(2, 4))
+        assert mae(p, t) >= 0  # sizes match after flatten
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+
+class TestSegmentationMetrics:
+    def test_confusion_matrix_counts(self):
+        pred = np.array([0, 0, 1, 1])
+        true = np.array([0, 1, 1, 1])
+        matrix = confusion_matrix(pred, true, 2)
+        np.testing.assert_array_equal(matrix, [[1, 0], [1, 2]])
+
+    def test_perfect_miou(self):
+        labels = np.array([[0, 1], [2, 0]])
+        assert mean_iou(labels, labels, 3) == 1.0
+
+    def test_miou_half_overlap(self):
+        pred = np.array([0, 0, 1, 1])
+        true = np.array([0, 1, 0, 1])
+        # class 0: inter 1, union 3; class 1: inter 1, union 3
+        assert mean_iou(pred, true, 2) == pytest.approx(1 / 3)
+
+    def test_miou_ignores_absent_classes(self):
+        pred = np.array([0, 0])
+        true = np.array([0, 0])
+        assert mean_iou(pred, true, 5) == 1.0
+
+    def test_miou_invalid_labels_skipped(self):
+        pred = np.array([0, 1])
+        true = np.array([0, -1])
+        assert mean_iou(pred, true, 2) == 1.0
+
+    def test_pixel_accuracy(self):
+        assert pixel_accuracy([0, 1, 1], [0, 1, 0]) == pytest.approx(2 / 3)
+
+    def test_pixel_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            pixel_accuracy([], [])
+
+
+class TestNormalMetrics:
+    def test_identical_normals_zero_angle(self, rng):
+        normals = rng.normal(size=(10, 3))
+        angles = angular_distances(normals, normals)
+        np.testing.assert_allclose(angles, np.zeros(10), atol=1e-5)
+
+    def test_opposite_normals_180(self):
+        n = np.array([[0.0, 0.0, 1.0]])
+        assert angular_distances(n, -n)[0] == pytest.approx(180.0)
+
+    def test_right_angle(self):
+        a = np.array([[1.0, 0.0, 0.0]])
+        b = np.array([[0.0, 1.0, 0.0]])
+        assert angular_distances(a, b)[0] == pytest.approx(90.0)
+
+    def test_scale_invariance(self, rng):
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            angular_distances(a, b), angular_distances(a * 10, b * 0.1), atol=1e-8
+        )
+
+    def test_image_layout(self, rng):
+        a = rng.normal(size=(2, 3, 4, 4))
+        angles = angular_distances(a, a)
+        assert angles.shape == (2 * 4 * 4,)
+
+    def test_metrics_dict(self, rng):
+        a, b = rng.normal(size=(100, 3)), rng.normal(size=(100, 3))
+        stats = normal_metrics(a, b)
+        assert set(stats) == {"mean", "median", "within_11.25", "within_22.5", "within_30"}
+        assert stats["within_11.25"] <= stats["within_22.5"] <= stats["within_30"]
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            angular_distances(np.zeros((3, 2)), np.zeros((3, 2)))
+
+
+class TestDeltaM:
+    def test_zero_for_identical(self):
+        assert delta_m([1.0, 2.0], [1.0, 2.0], [True, False]) == 0.0
+
+    def test_sign_convention_higher_better(self):
+        # metric improved from 0.5 to 0.6 → +20%
+        assert delta_m([0.6], [0.5], [True]) == pytest.approx(0.2)
+
+    def test_sign_convention_lower_better(self):
+        # error decreased from 1.0 to 0.8 → +20%
+        assert delta_m([0.8], [1.0], [False]) == pytest.approx(0.2)
+
+    def test_averages_across_metrics(self):
+        value = delta_m([0.6, 0.8], [0.5, 1.0], [True, False])
+        assert value == pytest.approx(0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            delta_m([1.0], [0.0], [True])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            delta_m([1.0], [1.0, 2.0], [True, True])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            delta_m([], [], [])
+
+    def test_from_results_nested(self):
+        mtl = {"t1": {"auc": 0.6}, "t2": {"rmse": 0.8}}
+        stl = {"t1": {"auc": 0.5}, "t2": {"rmse": 1.0}}
+        directions = {"t1": {"auc": True}, "t2": {"rmse": False}}
+        assert delta_m_from_results(mtl, stl, directions) == pytest.approx(0.2)
+
+    @given(
+        st.lists(st.floats(0.1, 10, allow_nan=False), min_size=1, max_size=6),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_antisymmetry(self, baseline, seed):
+        """Swapping MTL and STL flips the sign for higher-is-better metrics
+        measured relative to the respective baselines."""
+        local = np.random.default_rng(seed)
+        baseline = np.asarray(baseline)
+        improved = baseline * (1 + np.abs(local.normal(size=len(baseline))) * 0.1)
+        up = delta_m(improved, baseline, [True] * len(baseline))
+        down = delta_m(baseline, baseline, [True] * len(baseline))
+        assert up >= down == 0.0

@@ -1,0 +1,142 @@
+"""Tests for attention blocks and graph layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GraphConv,
+    GraphReadout,
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerBlock,
+    normalize_adjacency,
+)
+
+from ..conftest import assert_gradcheck
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        assert attn(Tensor(rng.normal(size=(3, 5, 8)))).shape == (3, 5, 8)
+
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, rng)
+
+    def test_gradcheck(self, rng):
+        attn = MultiHeadSelfAttention(4, 2, rng)
+        assert_gradcheck(
+            lambda x: (attn(x) ** 2).sum(), rng.normal(size=(1, 3, 4)), tol=1e-4
+        )
+
+    def test_permutation_equivariance(self, rng):
+        """Self-attention without positions commutes with sequence permutation."""
+        attn = MultiHeadSelfAttention(6, 2, rng)
+        x = rng.normal(size=(1, 4, 6))
+        perm = np.array([2, 0, 3, 1])
+        out = attn(Tensor(x)).data
+        out_perm = attn(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-10)
+
+    def test_transformer_block_shape_and_grad(self, rng):
+        block = TransformerBlock(8, 2, rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        out = block(x)
+        assert out.shape == (2, 4, 8)
+        (out**2).sum().backward()
+        assert x.grad is not None
+
+    def test_transformer_block_gradcheck(self, rng):
+        block = TransformerBlock(4, 2, rng)
+        block.eval()
+        assert_gradcheck(
+            lambda x: (block(x) ** 2).sum(), rng.normal(size=(1, 3, 4)), tol=1e-4
+        )
+
+
+class TestNormalizeAdjacency:
+    def test_single_matrix(self):
+        adj = np.array([[0.0, 1.0], [1.0, 0.0]])
+        norm = normalize_adjacency(adj)
+        assert norm.shape == (2, 2)
+        # With self loops the 2-node path has D = 2I.
+        np.testing.assert_allclose(norm, np.full((2, 2), 0.5))
+
+    def test_batch(self):
+        adj = np.zeros((2, 3, 3))
+        adj[0, 0, 1] = adj[0, 1, 0] = 1.0
+        norm = normalize_adjacency(adj)
+        assert norm.shape == (2, 3, 3)
+
+    def test_padding_rows_stay_zero(self):
+        adj = np.zeros((1, 3, 3))
+        adj[0, 0, 1] = adj[0, 1, 0] = 1.0  # node 2 is padding
+        norm = normalize_adjacency(adj)
+        np.testing.assert_allclose(norm[0, 2], np.zeros(3))
+        np.testing.assert_allclose(norm[0, :, 2], np.zeros(3))
+
+    def test_no_self_loops_option(self):
+        adj = np.array([[0.0, 1.0], [1.0, 0.0]])
+        norm = normalize_adjacency(adj, add_self_loops=False)
+        np.testing.assert_allclose(np.diag(norm), np.zeros(2))
+
+    def test_row_normalization_bounded(self, rng):
+        adj = (rng.random((1, 6, 6)) > 0.5).astype(float)
+        adj = np.triu(adj, 1)
+        adj = adj + adj.transpose(0, 2, 1)
+        norm = normalize_adjacency(adj)
+        eigs = np.linalg.eigvalsh(norm[0])
+        assert eigs.max() <= 1.0 + 1e-9
+
+
+class TestGraphConv:
+    def test_shape(self, rng):
+        conv = GraphConv(4, 6, rng)
+        adj = normalize_adjacency(np.ones((2, 3, 3)) - np.eye(3))
+        out = conv(Tensor(rng.normal(size=(2, 3, 4))), adj)
+        assert out.shape == (2, 3, 6)
+
+    def test_isolated_node_self_only(self, rng):
+        """With self loops, an isolated node's output is a function of itself."""
+        conv = GraphConv(2, 2, rng)
+        adj = np.zeros((1, 2, 2))
+        adj[0, 0, 1] = adj[0, 1, 0] = 0.0
+        adj[0, 0, 0] = 1.0  # give node 0 a degree so it is "real"
+        norm = normalize_adjacency(adj)
+        x = np.zeros((1, 2, 2))
+        x[0, 1] = [1.0, 1.0]  # only node 1 has features
+        out = conv(Tensor(x), norm).data
+        # Node 1 has no connectivity at all (padding): its row of Â is zero.
+        np.testing.assert_allclose(out[0, 1], conv.linear.bias.data)
+
+    def test_gradcheck(self, rng):
+        conv = GraphConv(3, 2, rng)
+        adj = normalize_adjacency(np.ones((1, 3, 3)) - np.eye(3))
+        assert_gradcheck(
+            lambda x: (conv(x, adj) ** 2).sum(), rng.normal(size=(1, 3, 3)), tol=1e-5
+        )
+
+
+class TestGraphReadout:
+    def test_masked_mean(self, rng):
+        readout = GraphReadout()
+        x = np.zeros((1, 3, 2))
+        x[0, 0] = [2.0, 4.0]
+        x[0, 1] = [4.0, 0.0]
+        x[0, 2] = [100.0, 100.0]  # padding
+        mask = np.array([[1.0, 1.0, 0.0]])
+        out = readout(Tensor(x), mask)
+        np.testing.assert_allclose(out.data, [[3.0, 2.0]])
+
+    def test_empty_graph_guard(self):
+        readout = GraphReadout()
+        out = readout(Tensor(np.ones((1, 2, 3))), np.zeros((1, 2)))
+        np.testing.assert_allclose(out.data, np.zeros((1, 3)))
+
+    def test_grad_flows_only_through_real_nodes(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 2)), requires_grad=True)
+        mask = np.array([[1.0, 1.0, 0.0]])
+        GraphReadout()(x, mask).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 2], np.zeros(2))
+        assert np.all(x.grad[0, 0] != 0)

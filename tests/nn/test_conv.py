@@ -1,0 +1,156 @@
+"""Tests for convolution / pooling / upsampling layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    Tensor,
+    UpsampleNearest,
+    pad2d,
+)
+
+from ..conftest import assert_gradcheck
+
+
+class TestPad2d:
+    def test_shape(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 3, 3)))
+        assert pad2d(x, 2).shape == (1, 2, 7, 7)
+
+    def test_zero_padding_noop(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        assert pad2d(x, 0) is x
+
+    def test_grad(self, rng):
+        assert_gradcheck(lambda x: (pad2d(x, 1) ** 2).sum(), rng.normal(size=(1, 1, 3, 3)))
+
+
+class TestConv2d:
+    def test_output_shape_with_padding(self, rng):
+        conv = Conv2d(3, 5, 3, rng, padding=1)
+        assert conv(Tensor(rng.normal(size=(2, 3, 8, 8)))).shape == (2, 5, 8, 8)
+
+    def test_output_shape_stride(self, rng):
+        conv = Conv2d(1, 2, 3, rng, stride=2)
+        assert conv(Tensor(rng.normal(size=(1, 1, 7, 7)))).shape == (1, 2, 3, 3)
+
+    def test_matches_manual_convolution(self, rng):
+        conv = Conv2d(1, 1, 3, rng, bias=False)
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = conv(Tensor(x)).data[0, 0]
+        kernel = conv.weight.data[0, 0]
+        for i in range(3):
+            for j in range(3):
+                expected = (x[0, 0, i : i + 3, j : j + 3] * kernel).sum()
+                assert out[i, j] == pytest.approx(expected)
+
+    def test_bias_added_per_channel(self, rng):
+        conv = Conv2d(1, 2, 1, rng)
+        conv.weight.data[:] = 0.0
+        conv.bias.data[:] = [1.0, -1.0]
+        out = conv(Tensor(np.zeros((1, 1, 2, 2)))).data
+        np.testing.assert_allclose(out[0, 0], np.ones((2, 2)))
+        np.testing.assert_allclose(out[0, 1], -np.ones((2, 2)))
+
+    def test_input_gradcheck(self, rng):
+        conv = Conv2d(2, 3, 3, rng, padding=1)
+        assert_gradcheck(
+            lambda x: (conv(x) ** 2).sum(), rng.normal(size=(1, 2, 4, 4)), tol=1e-4
+        )
+
+    def test_weight_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)))
+        conv = Conv2d(1, 1, 3, rng)
+
+        def fn(w):
+            conv.weight.data = w.data
+            conv.weight.grad = None
+            out = (conv(x) ** 2).sum()
+            return out
+
+        w0 = conv.weight.data.copy()
+        loss = (conv(x) ** 2).sum()
+        loss.backward()
+        analytic = conv.weight.grad.copy()
+        eps = 1e-6
+        numeric = np.zeros_like(w0)
+        for idx in np.ndindex(*w0.shape):
+            wp, wm = w0.copy(), w0.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            conv.weight.data = wp
+            up = (conv(x) ** 2).sum().item()
+            conv.weight.data = wm
+            down = (conv(x) ** 2).sum().item()
+            numeric[idx] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_wrong_channels_raises(self, rng):
+        conv = Conv2d(3, 2, 3, rng, padding=1)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 2, 4, 4))))
+
+    def test_wrong_rank_raises(self, rng):
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 3, rng)(Tensor(np.zeros((4, 4))))
+
+    def test_accepts_ndarray(self, rng):
+        conv = Conv2d(1, 1, 3, rng, padding=1)
+        assert conv(rng.normal(size=(1, 1, 4, 4))).shape == (1, 1, 4, 4)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = MaxPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_grad_flows_to_max_only(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        MaxPool2d(2)(x).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad[0, 0], expected)
+
+    def test_maxpool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2d(3)(Tensor(rng.normal(size=(1, 1, 4, 4))))
+
+    def test_avgpool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = AvgPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_grad(self, rng):
+        assert_gradcheck(
+            lambda x: (AvgPool2d(2)(x) ** 2).sum(), rng.normal(size=(1, 2, 4, 4))
+        )
+
+    def test_global_avg_pool(self, rng):
+        x = Tensor(rng.normal(size=(3, 5, 4, 4)))
+        out = GlobalAvgPool2d()(x)
+        assert out.shape == (3, 5)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)))
+
+
+class TestUpsample:
+    def test_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        out = UpsampleNearest(2)(x)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(out.data[0, 0, :2, :2], np.ones((2, 2)))
+        np.testing.assert_allclose(out.data[0, 0, 2:, 2:], np.full((2, 2), 4.0))
+
+    def test_grad_sums_over_replicas(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        UpsampleNearest(2)(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 4.0))
+
+    def test_gradcheck(self, rng):
+        assert_gradcheck(
+            lambda x: (UpsampleNearest(2)(x) ** 2).sum(), rng.normal(size=(1, 1, 3, 3))
+        )

@@ -1,0 +1,128 @@
+"""Tests for functional ops and losses (values + gradients + stability)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..conftest import assert_gradcheck
+
+
+class TestActivations:
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 5))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_stable_for_large_logits(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-12
+        )
+
+    def test_log_softmax_grad(self, rng):
+        assert_gradcheck(lambda x: (F.log_softmax(x) ** 2).sum(), rng.normal(size=(2, 4)))
+
+    def test_softmax_grad(self, rng):
+        assert_gradcheck(lambda x: (F.softmax(x) ** 2).sum(), rng.normal(size=(2, 4)))
+
+    def test_gelu_values(self):
+        out = F.gelu(Tensor([0.0, 100.0]))
+        np.testing.assert_allclose(out.data[0], 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.data[1], 100.0, rtol=1e-6)
+
+    def test_gelu_grad(self, rng):
+        assert_gradcheck(lambda x: F.gelu(x).sum(), rng.normal(size=(4,)))
+
+    def test_elementwise_wrappers(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        np.testing.assert_allclose(F.relu(x).data, np.maximum(x.data, 0))
+        np.testing.assert_allclose(F.tanh(x).data, np.tanh(x.data))
+        np.testing.assert_allclose(F.sigmoid(x).data, 1 / (1 + np.exp(-x.data)))
+        np.testing.assert_allclose(
+            F.leaky_relu(x, 0.2).data, np.where(x.data > 0, x.data, 0.2 * x.data)
+        )
+
+    def test_cosine_similarity_unit_vectors(self):
+        a = Tensor([[1.0, 0.0]])
+        b = Tensor([[0.0, 1.0]])
+        np.testing.assert_allclose(F.cosine_similarity(a, b).data, [0.0], atol=1e-6)
+        np.testing.assert_allclose(F.cosine_similarity(a, a).data, [1.0], rtol=1e-6)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_mse_grad(self, rng):
+        t = rng.normal(size=(4,))
+        assert_gradcheck(lambda x: F.mse_loss(x, t), rng.normal(size=(4,)))
+
+    def test_l1_value(self):
+        loss = F.l1_loss(Tensor([1.0, -2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_huber_quadratic_region(self):
+        loss = F.huber_loss(Tensor([0.5]), np.array([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_huber_linear_region(self):
+        loss = F.huber_loss(Tensor([3.0]), np.array([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_huber_grad(self, rng):
+        t = np.zeros(4)
+        x0 = np.array([0.3, -0.4, 2.0, -3.0])
+        assert_gradcheck(lambda x: F.huber_loss(x, t), x0)
+
+    def test_bce_matches_naive_formula(self, rng):
+        logits = rng.normal(size=(10,))
+        labels = (rng.random(10) > 0.5).astype(float)
+        probs = 1 / (1 + np.exp(-logits))
+        naive = -np.mean(labels * np.log(probs) + (1 - labels) * np.log(1 - probs))
+        loss = F.bce_with_logits(Tensor(logits), labels)
+        assert loss.item() == pytest.approx(naive, rel=1e-9)
+
+    def test_bce_stable_for_extreme_logits(self):
+        loss = F.bce_with_logits(Tensor([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_bce_grad(self, rng):
+        labels = (rng.random(5) > 0.5).astype(float)
+        assert_gradcheck(lambda x: F.bce_with_logits(x, labels), rng.normal(size=(5,)))
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        manual = -np.mean(log_probs[np.arange(6), labels])
+        loss = F.cross_entropy(Tensor(logits), labels)
+        assert loss.item() == pytest.approx(manual, rel=1e-9)
+
+    def test_cross_entropy_grad(self, rng):
+        labels = rng.integers(0, 3, size=4)
+        assert_gradcheck(lambda x: F.cross_entropy(x, labels), rng.normal(size=(4, 3)))
+
+    def test_cross_entropy_dense_prediction_shape(self, rng):
+        logits = Tensor(rng.normal(size=(2, 4, 4, 3)), requires_grad=True)
+        labels = rng.integers(0, 3, size=(2, 4, 4))
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        assert logits.grad.shape == (2, 4, 4, 3)
+
+    def test_cross_entropy_rejects_wrong_axis(self, rng):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(rng.normal(size=(2, 3, 4))), np.zeros((2, 4)), axis=1)
+
+    def test_nll_loss_matches_cross_entropy(self, rng):
+        logits = Tensor(rng.normal(size=(5, 3)))
+        labels = rng.integers(0, 3, size=5)
+        ce = F.cross_entropy(logits, labels)
+        nll = F.nll_loss(F.log_softmax(logits), labels)
+        assert nll.item() == pytest.approx(ce.item(), rel=1e-12)

@@ -1,0 +1,51 @@
+"""Tests for parameter initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_xavier_uniform_bound_linear(self, rng):
+        w = init.xavier_uniform((40, 60), rng)
+        bound = np.sqrt(6.0 / (40 + 60))
+        assert np.abs(w).max() <= bound
+        assert w.shape == (40, 60)
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((200, 300), rng)
+        expected_std = np.sqrt(2.0 / 500)
+        assert w.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_kaiming_uniform_bound(self, rng):
+        w = init.kaiming_uniform((30, 50), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 30)
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((500, 100), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 500), rel=0.1)
+
+    def test_conv_kernel_fan(self, rng):
+        # (out, in, kh, kw): fan_in = in * kh * kw
+        w = init.kaiming_uniform((8, 4, 3, 3), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / (4 * 9))
+
+    def test_vector_shape(self, rng):
+        w = init.xavier_uniform((10,), rng)
+        assert w.shape == (10,)
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_normal_std_param(self):
+        rng = np.random.default_rng(0)
+        w = init.normal((1000,), rng, std=0.5)
+        assert w.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        a = init.xavier_uniform((5, 5), np.random.default_rng(7))
+        b = init.xavier_uniform((5, 5), np.random.default_rng(7))
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,154 @@
+"""Tests for core layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+from ..conftest import assert_gradcheck
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        assert layer(Tensor(rng.normal(size=(7, 5)))).shape == (7, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_weight_grad(self, rng):
+        layer = Linear(3, 2, rng)
+        (layer(Tensor(rng.normal(size=(4, 3)))) ** 2).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_higher_rank_input(self, rng):
+        layer = Linear(4, 2, rng)
+        assert layer(Tensor(rng.normal(size=(2, 5, 4)))).shape == (2, 5, 2)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([1, 3, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_grad_accumulates_on_repeats(self, rng):
+        emb = Embedding(5, 3, rng)
+        emb(np.array([2, 2])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], np.full(3, 2.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_2d_indices(self, rng):
+        emb = Embedding(10, 4, rng)
+        assert emb(np.zeros((2, 6), dtype=int)).shape == (2, 6, 4)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_train_mode_masks_and_rescales(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).data
+        kept = out != 0
+        assert 0.4 < kept.mean() < 0.6
+        np.testing.assert_allclose(out[kept], 2.0)
+
+    def test_zero_probability_identity(self, rng):
+        drop = Dropout(0.0, rng)
+        x = Tensor(rng.normal(size=(3,)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestNormalization:
+    def test_layernorm_zero_mean_unit_var(self, rng):
+        ln = LayerNorm(8)
+        out = ln(Tensor(rng.normal(size=(4, 8)) * 5 + 3)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_layernorm_grad(self, rng):
+        ln = LayerNorm(4)
+        assert_gradcheck(lambda x: (ln(x) ** 2).sum(), rng.normal(size=(2, 4)), tol=1e-4)
+
+    def test_batchnorm_normalizes_in_train(self, rng):
+        bn = BatchNorm1d(5)
+        out = bn(Tensor(rng.normal(size=(64, 5)) * 3 + 1)).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(5), atol=1e-6)
+
+    def test_batchnorm_running_stats_update(self, rng):
+        bn = BatchNorm1d(3, momentum=0.5)
+        bn(Tensor(rng.normal(size=(32, 3)) + 10.0))
+        assert np.all(bn.running_mean > 1.0)
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(3)
+        for _ in range(50):
+            bn(Tensor(rng.normal(size=(64, 3)) + 2.0))
+        bn.eval()
+        out = bn(Tensor(np.full((4, 3), 2.0))).data
+        np.testing.assert_allclose(out, np.zeros((4, 3)), atol=0.3)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(Linear(3, 4, rng), ReLU(), Linear(4, 2, rng))
+        assert seq(Tensor(rng.normal(size=(5, 3)))).shape == (5, 2)
+        assert len(seq) == 3
+
+    def test_sequential_parameters_collected(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        assert len(seq.parameters()) == 4
+
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        np.testing.assert_allclose(Tanh()(x).data, np.tanh(x.data))
+        np.testing.assert_allclose(Sigmoid()(x).data, 1 / (1 + np.exp(-x.data)))
+        np.testing.assert_allclose(Identity()(x).data, x.data)
+
+    def test_mlp_shapes_and_depth(self, rng):
+        mlp = MLP(6, [8, 4], 2, rng)
+        assert mlp(Tensor(rng.normal(size=(3, 6)))).shape == (3, 2)
+        # 3 linear layers → 6 parameters
+        assert len(mlp.parameters()) == 6
+
+    def test_mlp_no_hidden(self, rng):
+        mlp = MLP(6, [], 2, rng)
+        assert len(mlp.parameters()) == 2
+
+    def test_mlp_with_dropout_trains(self, rng):
+        mlp = MLP(4, [8], 1, rng, dropout=0.3)
+        out = mlp(Tensor(rng.normal(size=(10, 4))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in mlp.parameters())

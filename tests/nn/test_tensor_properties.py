@@ -1,0 +1,111 @@
+"""Hypothesis property tests on tensor algebra and autograd identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, concat, stack
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+small_arrays = arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=finite)
+
+
+class TestAlgebraicIdentities:
+    @given(small_arrays, small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutative(self, a, b):
+        if a.shape != b.shape:
+            return
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_involution(self, a):
+        np.testing.assert_allclose(Tensor(a).T.T.data, a)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_numpy(self, a):
+        assert Tensor(a).sum().item() == pytest.approx(a.sum(), rel=1e-12, abs=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_is_sum_over_size(self, a):
+        t = Tensor(a)
+        assert t.mean().item() == pytest.approx(t.sum().item() / a.size, rel=1e-12, abs=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_reshape_preserves_sum(self, a):
+        t = Tensor(a)
+        assert t.reshape(-1).sum().item() == pytest.approx(t.sum().item(), rel=1e-12, abs=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_concat_then_split_roundtrip(self, a):
+        t = Tensor(a)
+        joined = concat([t, t], axis=0)
+        np.testing.assert_allclose(joined.data[: a.shape[0]], a)
+        np.testing.assert_allclose(joined.data[a.shape[0] :], a)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_stack_shape(self, a):
+        out = stack([Tensor(a), Tensor(a), Tensor(a)], axis=0)
+        assert out.shape == (3,) + a.shape
+
+
+class TestAutogradLinearity:
+    @given(small_arrays, st.floats(-5.0, 5.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_scales_linearly(self, a, c):
+        """d(c·f)/dx = c · df/dx for any scalar c."""
+        x1 = Tensor(a.copy(), requires_grad=True)
+        (x1 * x1).sum().backward()
+        base = x1.grad.copy()
+        x2 = Tensor(a.copy(), requires_grad=True)
+        (c * (x2 * x2)).sum().backward()
+        np.testing.assert_allclose(x2.grad, c * base, rtol=1e-9, atol=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_of_sum_is_ones(self, a):
+        x = Tensor(a, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_grad_additive_over_losses(self, a):
+        """backward(f) then backward(g) accumulates to grad of f+g."""
+        x1 = Tensor(a.copy(), requires_grad=True)
+        (x1 * 2).sum().backward()
+        (x1 * 3).sum().backward()
+        x2 = Tensor(a.copy(), requires_grad=True)
+        (x2 * 5).sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_detach_blocks_gradient(self, a):
+        x = Tensor(a, requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+    @given(small_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_chain_rule_through_exp_log(self, a):
+        """d/dx log(exp(x)) = 1 wherever defined."""
+        clipped = np.clip(a, -10, 10)
+        x = Tensor(clipped, requires_grad=True)
+        x.exp().log().sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(clipped), rtol=1e-9)

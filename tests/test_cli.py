@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import ANALYSIS_RUNNERS, main
+
+
+class TestCLI:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for identifier in ("table1", "table2", "table3", "table4", "fig5"):
+            assert identifier in out
+        for identifier in ANALYSIS_RUNNERS:
+            assert identifier in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--preset", "huge"])
+
+    def test_methods_argument_parsing(self, capsys, monkeypatch):
+        captured = {}
+
+        def fake_run_table(identifier, preset, methods):
+            captured["methods"] = methods
+            return "ok"
+
+        monkeypatch.setattr("repro.__main__._run_table", fake_run_table)
+        main(["table1", "--methods", "equal,mocograd"])
+        assert captured["methods"] == ("equal", "mocograd")
+        assert "ok" in capsys.readouterr().out

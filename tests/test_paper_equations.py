@@ -1,0 +1,174 @@
+"""Equation-level fidelity tests: every numbered equation of the paper.
+
+Each test states which equation of the paper it verifies, so reviewers can
+audit the implementation against the text directly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balancers import gradvac_coefficient, project_conflicting
+from repro.core import (
+    MoCoGrad,
+    calibrated_gradient_bound,
+    corollary1_rate_exponent,
+    gradient_conflict_degree,
+)
+from repro.metrics import delta_m
+
+
+def unit(rng, d=6):
+    v = rng.normal(size=d)
+    return v / np.linalg.norm(v)
+
+
+class TestEq4GCD:
+    """Eq. (4): GCD(g_i, g_j) = 1 − cos φ_ij; conflict iff GCD > 1."""
+
+    def test_definition_on_known_angles(self):
+        g = np.array([1.0, 0.0])
+        for angle_deg in (0, 45, 90, 135, 180):
+            angle = np.radians(angle_deg)
+            h = np.array([np.cos(angle), np.sin(angle)])
+            assert gradient_conflict_degree(g, h) == pytest.approx(1 - np.cos(angle), abs=1e-12)
+
+    @given(st.floats(-1.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_conflict_threshold_is_cos_zero(self, cosine):
+        if abs(cosine) < 1e-9:
+            return  # knife-edge: GCD == 1 exactly, neither side
+        g = np.array([1.0, 0.0])
+        h = np.array([cosine, np.sqrt(max(1 - cosine**2, 0.0))])
+        gcd = gradient_conflict_degree(g, h)
+        assert (gcd > 1.0) == (cosine < 0.0)
+
+
+class TestEq5PCGrad:
+    """Eq. (5): g_i' = g_i − (g_i·g_j/‖g_j‖²) g_j for conflicting pairs."""
+
+    def test_formula_exact(self, rng):
+        for _ in range(10):
+            g_i, g_j = rng.normal(size=5), rng.normal(size=5)
+            if g_i @ g_j >= 0:
+                g_i = -g_i  # force conflict
+                if g_i @ g_j >= 0:
+                    continue
+            expected = g_i - (g_i @ g_j) / (g_j @ g_j) * g_j
+            np.testing.assert_allclose(project_conflicting(g_i, g_j), expected)
+
+    def test_result_orthogonal_to_partner(self, rng):
+        g_i = np.array([1.0, -2.0, 0.5])
+        g_j = np.array([-1.0, 1.0, 0.0])
+        assert g_i @ g_j < 0
+        projected = project_conflicting(g_i, g_j)
+        assert abs(projected @ g_j) < 1e-12
+
+
+class TestEq6Eq7GradVac:
+    """Eq. (6)/(7): g_i' = g_i + α g_j with the Law-of-Sines α."""
+
+    @given(st.floats(-0.9, 0.3), st.floats(0.35, 0.95), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_achieves_target_angle(self, cos_current, cos_target, seed):
+        if cos_current >= cos_target:
+            return
+        rng = np.random.default_rng(seed)
+        g_j = unit(rng)
+        # Build g_i at the requested current angle to g_j.
+        ortho = unit(rng)
+        ortho -= (ortho @ g_j) * g_j
+        ortho /= np.linalg.norm(ortho)
+        magnitude = float(rng.uniform(0.5, 3.0))
+        g_i = magnitude * (cos_current * g_j + np.sqrt(1 - cos_current**2) * ortho)
+        alpha = gradvac_coefficient(
+            np.linalg.norm(g_i), np.linalg.norm(g_j), cos_current, cos_target
+        )
+        adjusted = g_i + alpha * g_j
+        achieved = adjusted @ g_j / (np.linalg.norm(adjusted) * np.linalg.norm(g_j))
+        assert achieved == pytest.approx(cos_target, abs=1e-8)
+
+
+class TestEq8Eq9MoCoGrad:
+    """Eq. (8): ĝ_i = g_i + λ(‖g_j‖/‖m_j‖)m_j; Eq. (9): EMA momentum."""
+
+    def test_eq8_added_term_norm(self):
+        """The calibration term has norm exactly λ‖g_j‖ regardless of ‖m_j‖."""
+        balancer = MoCoGrad(calibration=0.25, beta1=0.5, seed=0)
+        balancer.reset(2)
+        grads = np.array([[2.0, 0.0], [-3.0, 0.4]])
+        balancer.balance(grads, np.ones(2))  # momentum warm-up
+        calibrated = balancer.calibrate(grads)
+        added = calibrated[0] - grads[0]
+        assert np.linalg.norm(added) == pytest.approx(0.25 * np.linalg.norm(grads[1]))
+
+    def test_eq8_direction_is_momentum(self):
+        balancer = MoCoGrad(calibration=0.5, seed=0)
+        balancer.reset(2)
+        grads = np.array([[2.0, 0.0], [-3.0, 0.4]])
+        balancer.balance(grads, np.ones(2))
+        momentum = balancer.momentum[1].copy()
+        calibrated = balancer.calibrate(grads)
+        added = calibrated[0] - grads[0]
+        cosine = added @ momentum / (np.linalg.norm(added) * np.linalg.norm(momentum))
+        assert cosine == pytest.approx(1.0)
+
+    def test_eq9_momentum_recursion(self):
+        beta = 0.7
+        balancer = MoCoGrad(beta1=beta, seed=0)
+        balancer.reset(2)
+        g1 = np.array([[1.0, 0.0], [0.0, 1.0]])
+        g2 = np.array([[0.5, 0.5], [0.2, -0.2]])
+        balancer.balance(g1, np.ones(2))
+        balancer.balance(g2, np.ones(2))
+        expected = beta * ((1 - beta) * g1) + (1 - beta) * g2
+        np.testing.assert_allclose(balancer.momentum, expected)
+
+
+class TestTheorem1Inequality:
+    """Theorem 1's chain: ‖ĝ‖ ≤ Σ‖g_i‖ + λΣ‖g_j‖ ≤ K(1+λ)G < 2KG."""
+
+    @given(
+        st.integers(2, 5),
+        st.floats(0.05, 1.0),
+        st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bound_chain(self, num_tasks, lam, grad_bound):
+        bound = calibrated_gradient_bound(num_tasks, lam, grad_bound)
+        assert bound == pytest.approx(num_tasks * (1 + lam) * grad_bound)
+        assert bound <= 2 * num_tasks * grad_bound + 1e-12
+
+
+class TestCorollary1Exponent:
+    """Corollary 1: R(T) = O(T^max(p, 1−p, 1−3p)); sublinear for p ∈ (0, 1)."""
+
+    @given(st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_sublinear_in_open_interval(self, p):
+        assert corollary1_rate_exponent(p) < 1.0
+
+    def test_stated_value_at_half(self):
+        assert corollary1_rate_exponent(0.5) == pytest.approx(0.5)
+
+
+class TestEq27DeltaM:
+    """Eq. (27): Δ_M = (1/K) Σ (−1)^{s_k} (M_m − M_b)/M_b."""
+
+    def test_hand_computed_example(self):
+        # Two metrics: AUC (higher better) 0.70→0.77 (+10%);
+        # RMSE (lower better) 2.0→1.6 (+20%).  ΔM = 15%.
+        value = delta_m([0.77, 1.6], [0.70, 2.0], [True, False])
+        assert value == pytest.approx(0.15)
+
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=5),
+        st.floats(0.5, 2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_scaling_of_all_metrics(self, baseline, factor):
+        """Scaling every lower-is-better metric by c gives ΔM = 1 − c."""
+        baseline = np.asarray(baseline)
+        value = delta_m(baseline * factor, baseline, [False] * len(baseline))
+        assert value == pytest.approx(1.0 - factor, rel=1e-9)

@@ -1,0 +1,67 @@
+"""Edge-case tests for the multi-input training loop."""
+
+import numpy as np
+import pytest
+
+from repro.arch import HardParameterSharing, LinearHead, MLPEncoder
+from repro.balancers import EqualWeighting
+from repro.data import MULTI_INPUT, ArrayDataset, TaskSpec
+from repro.nn.functional import mse_loss
+from repro.training import MTLTrainer
+
+
+def build(rng, tasks):
+    encoder = MLPEncoder(4, [8], rng)
+    heads = {t.name: LinearHead(8, 1, rng) for t in tasks}
+    return HardParameterSharing(encoder, heads)
+
+
+def make_tasks():
+    return [TaskSpec("big", mse_loss, {}, {}), TaskSpec("small", mse_loss, {}, {})]
+
+
+class TestUnequalLoaders:
+    def test_shorter_loader_cycles(self, rng):
+        """With unequal dataset sizes, every step still gets a batch per
+        task — the shorter loader restarts (the LibMTL behaviour)."""
+        tasks = make_tasks()
+        data = {
+            "big": ArrayDataset(rng.normal(size=(64, 4)), rng.normal(size=64)),
+            "small": ArrayDataset(rng.normal(size=(8, 4)), rng.normal(size=8)),
+        }
+        model = build(rng, tasks)
+        trainer = MTLTrainer(model, tasks, EqualWeighting(), mode=MULTI_INPUT, seed=0)
+        trainer.fit(data, epochs=1, batch_size=8)
+        # Steps are driven by the largest loader: 64/8 = 8 steps.
+        assert trainer.step_count == 8
+
+    def test_single_sample_task(self, rng):
+        tasks = make_tasks()
+        data = {
+            "big": ArrayDataset(rng.normal(size=(16, 4)), rng.normal(size=16)),
+            "small": ArrayDataset(rng.normal(size=(1, 4)), rng.normal(size=1)),
+        }
+        model = build(rng, tasks)
+        trainer = MTLTrainer(model, tasks, EqualWeighting(), mode=MULTI_INPUT, seed=0)
+        losses = trainer.fit(data, epochs=1, batch_size=8)
+        assert np.all(np.isfinite(trainer.history.average_loss_curve()))
+
+    def test_loss_history_per_task(self, rng):
+        tasks = make_tasks()
+        data = {
+            "big": ArrayDataset(rng.normal(size=(16, 4)), rng.normal(size=16)),
+            "small": ArrayDataset(rng.normal(size=(16, 4)), rng.normal(size=16)),
+        }
+        model = build(rng, tasks)
+        trainer = MTLTrainer(model, tasks, EqualWeighting(), mode=MULTI_INPUT, seed=0)
+        trainer.fit(data, epochs=2, batch_size=8)
+        assert len(trainer.history.task_loss_curve("big")) == 2
+        assert len(trainer.history.task_loss_curve("small")) == 2
+
+    def test_missing_task_dataset_raises(self, rng):
+        tasks = make_tasks()
+        data = {"big": ArrayDataset(rng.normal(size=(16, 4)), rng.normal(size=16))}
+        model = build(rng, tasks)
+        trainer = MTLTrainer(model, tasks, EqualWeighting(), mode=MULTI_INPUT, seed=0)
+        with pytest.raises(KeyError):
+            trainer.fit(data, epochs=1, batch_size=8)
