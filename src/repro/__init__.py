@@ -20,7 +20,7 @@ Quick start::
     print(trainer.evaluate(bench.test))
 """
 
-from . import analysis, arch, balancers, core, data, experiments, metrics, nn, training
+from . import analysis, arch, balancers, core, data, experiments, metrics, nn, obs, training
 from .core import (
     GradientBalancer,
     MoCoGrad,
@@ -44,6 +44,7 @@ __all__ = [
     "training",
     "analysis",
     "experiments",
+    "obs",
     "MoCoGrad",
     "GradientBalancer",
     "create_balancer",

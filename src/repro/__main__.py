@@ -6,16 +6,23 @@ Usage::
     python -m repro table1 --preset quick      # Table I rows
     python -m repro fig8                       # backward-time study
     python -m repro table4 --methods equal,mocograd
+    python -m repro table1 --telemetry out.jsonl   # stream telemetry events
+    python -m repro report out.jsonl               # pretty-print a saved run
 
 Outputs the same rows the benchmark harness writes to
 ``benchmarks/results/``; this entry point is the scriptable path.
+``--telemetry PATH`` installs a process-wide JSONL sink: every trainer
+created during the run streams its tracing spans and metric snapshots
+into it (schema in DESIGN.md, "Observability").
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from . import obs
 from .analysis import (
     architecture_sweep,
     backward_time_study,
@@ -64,11 +71,14 @@ def _run_fig7(preset: str, methods) -> str:
 
 def _run_fig8(preset: str, methods) -> str:
     result = backward_time_study(methods=methods)
+    backward = result["backward_seconds_per_step"]
     rows = [
-        [m, t * 1000.0]
+        [m, t * 1000.0, backward[m] * 1000.0]
         for m, t in sorted(result["seconds_per_step"].items(), key=lambda kv: kv[1])
     ]
-    return format_table(["Method", "ms/step"], rows, title="Fig. 8", float_digits=3)
+    return format_table(
+        ["Method", "ms/step", "backward ms/step"], rows, title="Fig. 8", float_digits=3
+    )
 
 
 def _run_fig9(preset: str, methods) -> str:
@@ -93,12 +103,24 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Regenerate tables/figures of the MoCoGrad paper.",
     )
-    parser.add_argument("experiment", choices=experiments + ["list"])
+    parser.add_argument("experiment", choices=experiments + ["list", "report"])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="telemetry JSONL file (required by the `report` subcommand)",
+    )
     parser.add_argument("--preset", default="quick", choices=("quick", "full"))
     parser.add_argument(
         "--methods",
         default=None,
         help="comma-separated balancer names (default: the paper's method list)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry events (spans, metrics) to this JSONL file",
     )
     args = parser.parse_args(argv)
 
@@ -108,11 +130,43 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{identifier:8s} {label}")
         return 0
 
-    methods = tuple(args.methods.split(",")) if args.methods else METHODS
-    if args.experiment in REGISTRY:
-        print(_run_table(args.experiment, args.preset, methods))
-    else:
-        print(ANALYSIS_RUNNERS[args.experiment](args.preset, methods))
+    if args.experiment == "report":
+        if args.path is None:
+            parser.error("report requires a telemetry JSONL path")
+        try:
+            events = obs.load_events(args.path)
+        except OSError as exc:
+            parser.error(f"cannot read telemetry file: {exc}")
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(obs.format_report(obs.summarize_events(events)))
+        return 0
+
+    sink = None
+    if args.telemetry:
+        try:
+            sink = obs.JsonlSink(args.telemetry)
+        except OSError as exc:
+            parser.error(f"cannot open telemetry file: {exc}")
+        obs.configure_sinks([sink])
+        sink.emit(
+            {
+                "type": "run",
+                "experiment": args.experiment,
+                "preset": args.preset,
+                "ts": time.time(),
+            }
+        )
+    try:
+        methods = tuple(args.methods.split(",")) if args.methods else METHODS
+        if args.experiment in REGISTRY:
+            print(_run_table(args.experiment, args.preset, methods))
+        else:
+            print(ANALYSIS_RUNNERS[args.experiment](args.preset, methods))
+    finally:
+        if sink is not None:
+            obs.configure_sinks([])
+            sink.close()
     return 0
 
 

@@ -26,9 +26,9 @@ def conflict_trajectory(trainer, window: int = 1) -> dict:
     overall statistics.  ``window`` groups consecutive steps (e.g. set it
     to steps-per-epoch for per-epoch curves).
     """
-    if not trainer.conflict_history:
+    if not trainer.conflict_stats:
         raise ValueError("trainer has no conflict history (track_conflicts=False?)")
-    history = np.asarray(trainer.conflict_history)  # (steps, 2)
+    history = np.asarray(trainer.conflict_stats)  # (steps, 2)
     if window < 1:
         raise ValueError("window must be ≥ 1")
     steps = history.shape[0]

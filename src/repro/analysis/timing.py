@@ -1,10 +1,12 @@
 """Fig. 8 — backward time per optimization step, by method.
 
-Measures the mean wall-clock seconds of one full balanced optimization step
-(K backward passes + balancing + update) on the AliExpress stack for every
-method, reproducing the paper's ordering: Nash-MTL slowest (inner solve),
-MGDA/CAGrad in between, the projection-style methods (PCGrad, GradVac,
-MoCoGrad) comparable to plain joint training.
+Consumes the trainer's :mod:`repro.obs` span data instead of re-timing:
+the ``step`` span gives whole-step wall-clock and the ``step/backward``
+span gives the *backward-only* time the paper's Fig. 8 actually plots
+(the seed implementation conflated the two).  The expected ordering:
+Nash-MTL slowest (inner solve), MGDA/CAGrad in between, the
+projection-style methods (PCGrad, GradVac, MoCoGrad) comparable to plain
+joint training.
 
 Also exposes the paper's feature-level speedup (``grad_source="features"``)
 for comparison.
@@ -17,6 +19,7 @@ import numpy as np
 from ..core.balancer import create_balancer
 from ..data.aliexpress import make_aliexpress
 from ..experiments.runner import METHODS
+from ..obs import Telemetry
 from ..training.trainer import MTLTrainer
 
 __all__ = ["backward_time_study"]
@@ -31,11 +34,18 @@ def backward_time_study(
     seed: int = 0,
     grad_source: str = "params",
 ) -> dict:
-    """Mean seconds per optimization step per method: ``{method: seconds}``."""
+    """Median step/backward seconds per method from telemetry spans.
+
+    Returns ``{"seconds_per_step": {method: s}, "backward_seconds_per_step":
+    {method: s}, "steps": n, "grad_source": ...}``.
+    """
     benchmark = make_aliexpress("ES", num_records=num_records, seed=seed)
-    timings: dict[str, float] = {}
+    step_timings: dict[str, float] = {}
+    backward_timings: dict[str, float] = {}
     for method in methods:
         model = benchmark.build_model("hps", np.random.default_rng(seed))
+        # A private telemetry per method keeps span populations separate
+        # (no sinks: only the in-memory durations are needed here).
         trainer = MTLTrainer(
             model,
             benchmark.tasks,
@@ -44,16 +54,21 @@ def backward_time_study(
             grad_source=grad_source,
             lr=lr,
             seed=seed,
+            telemetry=Telemetry(),
         )
-        # Warm-up step excluded from the average (first-call overheads).
+        # Warm-up step excluded from the statistics (first-call overheads).
         trainer.fit(benchmark.train, 1, batch_size, max_steps_per_epoch=1)
-        trainer.backward_seconds_total = 0.0
-        trainer.step_count = 0
-        trainer.step_seconds = []
+        trainer.telemetry.reset_timings()
         remaining = steps
         while remaining > 0:
             chunk = min(remaining, max(1, len(benchmark.train) // batch_size))
             trainer.fit(benchmark.train, 1, batch_size, max_steps_per_epoch=chunk)
             remaining -= chunk
-        timings[method] = trainer.median_step_seconds
-    return {"seconds_per_step": timings, "steps": steps, "grad_source": grad_source}
+        step_timings[method] = trainer.median_step_seconds
+        backward_timings[method] = trainer.median_backward_seconds
+    return {
+        "seconds_per_step": step_timings,
+        "backward_seconds_per_step": backward_timings,
+        "steps": steps,
+        "grad_source": grad_source,
+    }

@@ -19,6 +19,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import NULL_TELEMETRY, Telemetry
+
 __all__ = ["GradientBalancer", "register_balancer", "create_balancer", "available_balancers"]
 
 
@@ -32,6 +34,10 @@ class GradientBalancer:
         self._seed = seed
         self.rng = np.random.default_rng(seed)
         self.num_tasks: int | None = None
+        #: telemetry hook; :class:`~repro.training.trainer.MTLTrainer`
+        #: replaces the inert default with its own instance, so every
+        #: balancer gets per-step conflict counters for free.
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     def reset(self, num_tasks: int) -> None:
@@ -72,7 +78,30 @@ class GradientBalancer:
             raise ValueError(
                 f"balancer was reset for {self.num_tasks} tasks but received {grads.shape[0]}"
             )
+        self._record_conflict_telemetry(grads)
         return grads, losses
+
+    def _record_conflict_telemetry(self, grads: np.ndarray) -> None:
+        """Count conflicting gradient pairs (GCD > 1 ⇔ negative cosine).
+
+        Runs on every :meth:`balance` call of every balancer — the base
+        class owns it so each baseline reports the same conflict counters
+        the paper's Section III diagnostics are built on.  Skipped when
+        telemetry is disabled (the dot products exist only to be logged).
+        """
+        telemetry = self.telemetry
+        num_tasks = grads.shape[0]
+        if not telemetry.enabled or num_tasks < 2:
+            return
+        inner = grads @ grads.T
+        upper = inner[np.triu_indices(num_tasks, k=1)]
+        pairs = upper.size
+        conflicts = int(np.count_nonzero(upper < 0.0))
+        telemetry.counter("balancer_pairs_total", method=self.name).inc(pairs)
+        telemetry.counter("balancer_conflicts_total", method=self.name).inc(conflicts)
+        telemetry.gauge("balancer_conflict_fraction", method=self.name).set(
+            conflicts / pairs
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

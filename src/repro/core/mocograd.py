@@ -117,6 +117,9 @@ class MoCoGrad(GradientBalancer):
         num_tasks, dim = grads.shape
         if self._momentum is None or self._momentum.shape != grads.shape:
             self._momentum = np.zeros_like(grads)
+        if self.telemetry.enabled:
+            # λ in effect for this step (step_count has not advanced yet).
+            self.telemetry.gauge("mocograd_lambda").set(self.current_calibration())
         calibrated = grads.copy()
         previous_momentum = self._momentum
 
@@ -145,6 +148,11 @@ class MoCoGrad(GradientBalancer):
             self._momentum = self.beta1 * previous_momentum + (1.0 - self.beta1) * source
 
         self.step_count += 1
+        if self.telemetry.enabled:
+            for task_index, norm in enumerate(np.linalg.norm(self._momentum, axis=1)):
+                self.telemetry.gauge("mocograd_momentum_norm", task=str(task_index)).set(
+                    float(norm)
+                )
         return calibrated
 
     def current_calibration(self) -> float:
@@ -165,11 +173,16 @@ class MoCoGrad(GradientBalancer):
         """Apply Eq. (8) to task ``i`` against partner ``j`` if conflicting."""
         if gradient_conflict_degree(grads[i], grads[j]) <= 1.0:
             return
+        telemetry = self.telemetry
+        telemetry.counter("mocograd_conflicts_total").inc()
         momentum_norm = np.linalg.norm(momentum_j)
         if momentum_norm < _EPS:
-            return  # Eq. (8) undefined for zero momentum; skip calibration
+            # Eq. (8) undefined for zero momentum; skip calibration
+            telemetry.counter("mocograd_skipped_zero_momentum_total").inc()
+            return
         grad_norm = np.linalg.norm(grads[j])
         calibrated[i] += self.current_calibration() * (grad_norm / momentum_norm) * momentum_j
+        telemetry.counter("mocograd_calibrations_total").inc()
 
     # ------------------------------------------------------------------
     def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:

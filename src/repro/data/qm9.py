@@ -42,7 +42,7 @@ from ..arch.hps import HardParameterSharing
 from ..metrics.regression import mae, rmse
 from ..nn.functional import mse_loss
 from ..nn.graph import normalize_adjacency
-from .base import MULTI_INPUT, ArrayDataset, Benchmark, TaskSpec, train_val_test_split
+from .base import MULTI_INPUT, ArrayDataset, Benchmark, TaskSpec
 
 __all__ = ["PROPERTIES", "make_qm9", "generate_molecule", "molecule_properties"]
 

@@ -16,6 +16,7 @@ import numpy as np
 from ..core.balancer import create_balancer
 from ..data.base import Benchmark
 from ..metrics.delta import delta_m_from_results
+from ..training.history import History
 from ..training.stl import train_stl_all
 from ..training.trainer import MTLTrainer
 
@@ -68,12 +69,20 @@ class RunConfig:
 
 @dataclass
 class MethodResult:
-    """Test metrics of one method plus its ΔM against the STL baseline."""
+    """Test metrics of one method plus its ΔM against the STL baseline.
+
+    ``history`` is the training :class:`~repro.training.history.History`
+    of the run (the last seed's when seed-averaging); ``telemetry`` is the
+    per-run digest from :meth:`repro.obs.Telemetry.summary` — span timing
+    statistics plus the metric snapshot (conflict counters, MoCoGrad
+    calibration counts).
+    """
 
     method: str
     metrics: dict[str, dict[str, float]]
     delta_m: float | None = None
-    history=None
+    history: History | None = None
+    telemetry: dict | None = None
 
 
 def average_metric_dicts(runs: Sequence[Mapping[str, Mapping[str, float]]]) -> dict:
@@ -172,7 +181,13 @@ def run_methods(
     }
     results = {"stl": MethodResult("stl", dict(stl_metrics), 0.0)}
     for method in methods:
-        metrics = run_method(benchmark, method, config)
+        metrics, trainer = run_method(benchmark, method, config, return_trainer=True)
         delta = delta_m_from_results(metrics, stl_metrics, directions)
-        results[method] = MethodResult(method, metrics, delta)
+        results[method] = MethodResult(
+            method,
+            metrics,
+            delta,
+            history=trainer.history,
+            telemetry=trainer.telemetry.summary(),
+        )
     return results

@@ -7,8 +7,6 @@ all eight task metrics, exactly the layout of the paper's Table I.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..data.aliexpress import COUNTRIES, make_aliexpress_suite
 from ..metrics.delta import delta_m
 from .reporting import format_percent, format_table

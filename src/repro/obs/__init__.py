@@ -1,0 +1,51 @@
+"""``repro.obs`` — structured telemetry for the training stack.
+
+Three layers, smallest on top:
+
+- **Metrics** (:mod:`repro.obs.metrics`): labelled counters, gauges, and
+  fixed-bucket histograms in a :class:`MetricsRegistry`.
+- **Tracing** (:mod:`repro.obs.trace`): nested wall-clock spans with a
+  thread-local active-span stack — ``step/forward``, ``step/backward``
+  (per task), ``step/balance``, ``step/optimizer_step``.
+- **Sinks** (:mod:`repro.obs.sinks`): in-memory (tests), JSONL (runs),
+  and null (overhead measurement) event consumers, plus the
+  :mod:`repro.obs.report` formatter for saved JSONL files.
+
+:class:`Telemetry` bundles the three; ``NULL_TELEMETRY`` is the shared
+no-op used when instrumentation is off.  See DESIGN.md ("Observability")
+for the event schema and README.md for usage.
+"""
+
+from .metrics import SECONDS_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .report import format_report, load_events, summarize_events
+from .sinks import InMemorySink, JsonlSink, NullSink, Sink
+from .telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    add_default_sink,
+    configure_sinks,
+    default_sinks,
+)
+from .trace import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "SpanRecord",
+    "Tracer",
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "NullSink",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "configure_sinks",
+    "add_default_sink",
+    "default_sinks",
+    "load_events",
+    "summarize_events",
+    "format_report",
+]

@@ -1,0 +1,195 @@
+"""Label-aware metric instruments: counters, gauges, fixed-bucket histograms.
+
+The registry is the in-memory store behind ``repro.obs.Telemetry``.  Every
+instrument is identified by a ``(name, labels)`` pair — labels are free-form
+``key=value`` dimensions such as the task name, the training phase, or the
+balancing method — and requesting the same pair twice returns the same
+instrument, so hot loops can either cache the instrument or look it up each
+step.
+
+Histograms use *fixed* upper bounds (Prometheus-style cumulative-free
+buckets): the default ``SECONDS_BUCKETS`` spans 10 µs … 10 s, which covers
+every span duration this codebase produces, from a single feature-level
+backward to a full Nash-MTL step.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds for wall-clock durations (seconds).
+SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (e.g. steps taken, conflicts seen)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be ≥ 0; got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """Serializable state: kind, name, labels, value."""
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """Last-write-wins value (e.g. current λ, momentum norm)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        """Serializable state: kind, name, labels, value."""
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count, à la Prometheus.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit +inf
+    bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelKey, buckets: Iterable[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing; got {bounds}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into the matching bucket."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Serializable state: kind, name, labels, count, sum, buckets."""
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.buckets + (math.inf,), self.counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled instruments.
+
+    The registry never forgets an instrument: :meth:`snapshot` returns every
+    series ever touched, in a deterministic (name, labels) order, which is
+    what the JSONL sinks serialize at flush time.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, str, LabelKey], object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Mapping[str, object], factory):
+        if not name:
+            raise ValueError("metric name must be a non-empty string")
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            for other_kind, other_name, _ in self._instruments:
+                if other_name == name and other_kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {other_kind}"
+                    )
+            instrument = factory(name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter named ``name`` with these labels."""
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge named ``name`` with these labels."""
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(self, name: str, buckets: Iterable[float] = SECONDS_BUCKETS, **labels) -> Histogram:
+        """Get or create the histogram; re-requests must match ``buckets``."""
+        histogram = self._get(
+            "histogram", name, labels, lambda n, lk: Histogram(n, lk, buckets)
+        )
+        if histogram.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets {histogram.buckets}"
+            )
+        return histogram
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """Serializable state of every instrument, deterministically ordered."""
+        ordered = sorted(self._instruments.items(), key=lambda kv: (kv[0][1], kv[0][2]))
+        return [instrument.snapshot() for _, instrument in ordered]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} series)"

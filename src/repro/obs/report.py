@@ -1,0 +1,203 @@
+"""Run-report rendering for saved telemetry (JSONL) files.
+
+``python -m repro report out.jsonl`` funnels through here: load the event
+stream a :class:`~repro.obs.sinks.JsonlSink` wrote, aggregate it, and
+render a human-readable digest — per-phase span timing, per-method
+balancer conflict counts, and MoCoGrad calibration diagnostics.
+
+Aggregation rules
+-----------------
+- *Spans* are grouped by ``path`` (``"step/backward"``); statistics come
+  from the raw per-event durations, so medians/percentiles are exact.
+- *Counters* are cumulative per telemetry instance (``tid``): the last
+  snapshot per ``(tid, name, labels)`` wins, then instances are summed —
+  flushing twice never double-counts.
+- *Gauges* keep the latest value per ``(name, labels)`` across the file.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from typing import Iterable, Mapping
+
+__all__ = ["load_events", "summarize_events", "format_report"]
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse one JSONL telemetry file into event dicts.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` with
+    its line number (truncated final lines from killed runs are the one
+    exception — they are dropped with no error).
+    """
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if number == len(lines):  # torn tail write from a killed run
+                continue
+            raise ValueError(f"{path}:{number}: invalid JSON event: {exc}") from None
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}:{number}: event must be a JSON object")
+        events.append(event)
+    return events
+
+
+def _series_key(event: Mapping) -> tuple:
+    labels = event.get("labels") or {}
+    return (event.get("name"), tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def summarize_events(events: Iterable[Mapping]) -> dict:
+    """Aggregate an event stream into the report's data model."""
+    span_durations: dict[str, list[float]] = {}
+    counters_by_tid: dict[tuple, float] = {}
+    gauges: dict[tuple, tuple[float, float]] = {}  # key -> (ts, value)
+    histograms: dict[tuple, dict] = {}
+    runs: list[dict] = []
+
+    for event in events:
+        etype = event.get("type")
+        if etype == "span":
+            span_durations.setdefault(event["path"], []).append(float(event["seconds"]))
+        elif etype == "metric":
+            key = _series_key(event)
+            tid = event.get("tid", 0)
+            if event.get("kind") == "counter":
+                counters_by_tid[(tid, *key)] = float(event["value"])
+            elif event.get("kind") == "gauge":
+                ts = float(event.get("ts", 0.0))
+                if key not in gauges or ts >= gauges[key][0]:
+                    gauges[key] = (ts, float(event["value"]))
+            elif event.get("kind") == "histogram":
+                histograms[(tid, *key)] = dict(event)
+        elif etype == "run":
+            runs.append(dict(event))
+
+    spans = {}
+    for path, values in sorted(span_durations.items()):
+        ordered = sorted(values)
+        spans[path] = {
+            "count": len(values),
+            "total_seconds": float(sum(values)),
+            "mean_seconds": float(sum(values) / len(values)),
+            "median_seconds": float(statistics.median(values)),
+            "p95_seconds": float(ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]),
+        }
+
+    counters: dict[tuple, float] = {}
+    for (_tid, name, labels), value in counters_by_tid.items():
+        counters[(name, labels)] = counters.get((name, labels), 0.0) + value
+
+    return {
+        "runs": runs,
+        "spans": spans,
+        "counters": {
+            name: {labels: value for (n, labels), value in counters.items() if n == name}
+            for name in {n for n, _ in counters}
+        },
+        "gauges": {key: value for key, (_ts, value) in gauges.items()},
+        "num_histograms": len(histograms),
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Minimal fixed-width table (kept local: obs must not import experiments)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _label_value(labels: tuple, key: str) -> str | None:
+    return dict(labels).get(key)
+
+
+def format_report(summary: Mapping) -> str:
+    """Render the digest ``python -m repro report`` prints."""
+    sections: list[str] = []
+
+    if summary["runs"]:
+        run = summary["runs"][0]
+        header = f"Telemetry report — {run.get('experiment', '?')} (preset={run.get('preset', '?')})"
+        sections.append(header)
+    else:
+        sections.append("Telemetry report")
+
+    if summary["spans"]:
+        rows = [
+            [
+                path,
+                stats["count"],
+                stats["total_seconds"],
+                stats["mean_seconds"] * 1e3,
+                stats["median_seconds"] * 1e3,
+                stats["p95_seconds"] * 1e3,
+            ]
+            for path, stats in summary["spans"].items()
+        ]
+        sections.append(
+            _format_table(
+                ["Span", "Count", "Total s", "Mean ms", "Median ms", "p95 ms"],
+                rows,
+                title="Per-phase timing",
+            )
+        )
+    else:
+        sections.append("No spans recorded.")
+
+    conflict_counts = summary["counters"].get("balancer_conflicts_total", {})
+    pair_counts = summary["counters"].get("balancer_pairs_total", {})
+    if pair_counts:
+        rows = []
+        for labels, pairs in sorted(pair_counts.items()):
+            method = _label_value(labels, "method") or "?"
+            conflicts = conflict_counts.get(labels, 0.0)
+            fraction = conflicts / pairs if pairs else 0.0
+            rows.append([method, int(pairs), int(conflicts), fraction])
+        sections.append(
+            _format_table(
+                ["Method", "Pairs", "Conflicts", "Fraction"],
+                rows,
+                title="Balancer conflicts (gradient pairs with GCD > 1)",
+            )
+        )
+
+    applied = summary["counters"].get("mocograd_calibrations_total", {})
+    skipped = summary["counters"].get("mocograd_skipped_zero_momentum_total", {})
+    if applied or skipped:
+        total_applied = sum(applied.values())
+        total_skipped = sum(skipped.values())
+        lam = next(
+            (v for (name, _labels), v in summary["gauges"].items() if name == "mocograd_lambda"),
+            None,
+        )
+        lines = [
+            "MoCoGrad calibration",
+            f"  calibrations applied: {int(total_applied)}",
+            f"  skipped (zero momentum): {int(total_skipped)}",
+        ]
+        if lam is not None:
+            lines.append(f"  final λ: {lam:.4f}")
+        sections.append("\n".join(lines))
+
+    return "\n\n".join(sections)

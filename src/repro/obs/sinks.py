@@ -1,0 +1,109 @@
+"""Pluggable event sinks: where telemetry events go.
+
+Every sink consumes plain-dict events (see DESIGN.md for the schema):
+``{"type": "span", ...}`` for closed tracing spans, ``{"type": "metric",
+...}`` for registry snapshots, and ``{"type": "run", ...}`` for run
+metadata.  Three implementations cover the use cases:
+
+- :class:`InMemorySink` — assertion-friendly buffer for tests;
+- :class:`JsonlSink` — one JSON object per line, the persistent format
+  ``python -m repro report`` consumes;
+- :class:`NullSink` — swallows everything; used by the telemetry-overhead
+  regression test to measure instrumentation cost without I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, Mapping
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "NullSink"]
+
+
+class Sink:
+    """Interface: receives telemetry events; close() releases resources."""
+
+    def emit(self, event: Mapping) -> None:
+        """Consume one telemetry event dict."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (default: no-op)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class InMemorySink(Sink):
+    """Buffers events in a list (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.closed = False
+
+    def emit(self, event: Mapping) -> None:
+        self.events.append(dict(event))
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_type(self, event_type: str) -> list[dict]:
+        """Convenience filter: all buffered events of one type."""
+        return [e for e in self.events if e.get("type") == event_type]
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file (or writable stream).
+
+    Writes are serialized with a lock so concurrent trainers can share one
+    sink; lines are flushed per event — a crashed run keeps every event
+    emitted before the crash.
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self._lock = threading.Lock()
+        self.closed = False
+
+    def emit(self, event: Mapping) -> None:
+        line = json.dumps(event, ensure_ascii=False, sort_keys=True, default=_jsonify)
+        with self._lock:
+            if self.closed:
+                raise ValueError("cannot emit to a closed JsonlSink")
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            if self._owns_file:
+                self._file.close()
+
+
+class NullSink(Sink):
+    """Accepts and discards every event (counts them for sanity checks)."""
+
+    def __init__(self) -> None:
+        self.emitted = 0
+
+    def emit(self, event: Mapping) -> None:
+        self.emitted += 1
+
+
+def _jsonify(value):
+    """Fallback serializer for numpy scalars and other float-likes."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)

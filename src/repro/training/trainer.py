@@ -13,11 +13,29 @@ Reproduces the LibMTL-style optimization loop the paper runs on:
 The paper's §VI-C speedup — balancing *feature-level* gradients (w.r.t. the
 shared representation z) so the shared trunk is back-propagated only once —
 is available as ``grad_source="features"`` for single-input HPS models.
+
+Observability
+-------------
+Every step is traced with nested :mod:`repro.obs` spans::
+
+    step                      whole optimization step
+    ├── forward               all task forwards (losses computed)
+    ├── backward              backward-only wall-clock (Fig. 8's quantity)
+    │   └── task_backward     one per task, labelled task=<name>
+    ├── balance               balancer.balance (conflict counters inside)
+    ├── backward_shared       trunk backprop (grad_source="features" only)
+    └── optimizer_step        parameter update
+
+plus ``train_steps_total`` / ``train_epochs_total`` counters and per-task
+``train_loss`` gauges.  The legacy ``step_seconds`` list and
+``backward_seconds_total`` scalar survive as *deprecated* properties backed
+by span data — note ``backward_seconds_total`` now honestly reports
+backward-only time (it previously accumulated whole steps).
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -29,6 +47,7 @@ from ..nn.module import Parameter
 from ..nn.optim import SGD, Adam, Optimizer
 from ..nn.tensor import Tensor
 from ..nn.utils import grad_vector, set_grad_from_vector
+from ..obs import Telemetry, default_sinks
 from .history import History
 
 __all__ = ["MTLTrainer"]
@@ -67,8 +86,13 @@ class MTLTrainer:
     track_conflicts:
         When True, record the mean pairwise GCD and the conflicting-pair
         fraction of the per-task gradients at every step
-        (``trainer.conflict_history``) — the live version of the paper's
+        (``trainer.conflict_stats``) — the live version of the paper's
         Section III diagnostics.
+    telemetry:
+        A :class:`repro.obs.Telemetry` instance, or None to create a
+        private one attached to the process-wide default sinks (installed
+        by ``python -m repro --telemetry``).  Pass
+        ``repro.obs.NULL_TELEMETRY`` to disable instrumentation entirely.
     """
 
     def __init__(
@@ -82,6 +106,7 @@ class MTLTrainer:
         lr: float = 1e-3,
         seed: int | None = None,
         track_conflicts: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if mode not in (SINGLE_INPUT, MULTI_INPUT):
             raise ValueError(f"mode must be {SINGLE_INPUT!r} or {MULTI_INPUT!r}")
@@ -102,102 +127,128 @@ class MTLTrainer:
         self.rng = np.random.default_rng(seed)
         self.balancer.reset(len(self.tasks))
         self.history = History([task.name for task in self.tasks])
-        self.last_step_seconds = 0.0
-        self.backward_seconds_total = 0.0
         self.step_count = 0
         self.track_conflicts = track_conflicts
-        #: wall-clock duration of every optimization step
-        self.step_seconds: list[float] = []
+        self.telemetry = telemetry if telemetry is not None else Telemetry(sinks=default_sinks())
+        self.balancer.telemetry = self.telemetry
+        self._step_labels = {"method": self.balancer.name, "mode": self.mode}
         #: per-step ``(mean_gcd, conflict_fraction)`` when tracking is on
-        self.conflict_history: list[tuple[float, float]] = []
+        self.conflict_stats: list[tuple[float, float]] = []
 
     # ------------------------------------------------------------------
     # Single optimization steps
     # ------------------------------------------------------------------
     def train_step_single(self, inputs, targets: Mapping[str, np.ndarray]) -> np.ndarray:
         """One step in single-input mode; returns per-task loss values."""
-        start = time.perf_counter()
-        self.model.train()
-        shared = self.model.shared_parameters()
-        self.model.zero_grad()
+        telemetry = self.telemetry
+        with telemetry.span("step", **self._step_labels):
+            self.model.train()
+            shared = self.model.shared_parameters()
+            self.model.zero_grad()
 
-        if self.grad_source == "features":
-            losses = self._collect_feature_grads(inputs, targets, shared)
-        else:
-            outputs = self.model.forward_all(inputs)
-            loss_tensors = [
-                task.loss_fn(outputs[task.name], targets[task.name]) for task in self.tasks
-            ]
-            losses = np.array([loss.item() for loss in loss_tensors])
-            grads = np.empty((len(self.tasks), sum(p.size for p in shared)))
-            for k, loss in enumerate(loss_tensors):
-                for param in shared:
-                    param.zero_grad()
-                loss.backward()
-                grads[k] = grad_vector(shared)
-            self._record_conflicts(grads)
-            combined = self.balancer.balance(grads, losses)
-            set_grad_from_vector(shared, combined)
+            if self.grad_source == "features":
+                losses = self._collect_feature_grads(inputs, targets, shared)
+            else:
+                with telemetry.span("forward"):
+                    outputs = self.model.forward_all(inputs)
+                    loss_tensors = [
+                        task.loss_fn(outputs[task.name], targets[task.name])
+                        for task in self.tasks
+                    ]
+                    losses = np.array([loss.item() for loss in loss_tensors])
+                grads = np.empty((len(self.tasks), sum(p.size for p in shared)))
+                with telemetry.span("backward"):
+                    for k, loss in enumerate(loss_tensors):
+                        with telemetry.span("task_backward", task=self.tasks[k].name):
+                            for param in shared:
+                                param.zero_grad()
+                            loss.backward()
+                            grads[k] = grad_vector(shared)
+                self._record_conflicts(grads)
+                with telemetry.span("balance", method=self.balancer.name):
+                    combined = self.balancer.balance(grads, losses)
+                set_grad_from_vector(shared, combined)
 
-        self.optimizer.step()
-        self.model.zero_grad()
-        self.last_step_seconds = time.perf_counter() - start
-        self.backward_seconds_total += self.last_step_seconds
-        self.step_seconds.append(self.last_step_seconds)
-        self.step_count += 1
-        self.history.record_step(losses)
+            with telemetry.span("optimizer_step"):
+                self.optimizer.step()
+            self.model.zero_grad()
+        self._finish_step(losses)
         return losses
 
     def _collect_feature_grads(
         self, inputs, targets: Mapping[str, np.ndarray], shared: list[Parameter]
     ) -> np.ndarray:
         """Feature-level gradient balancing (one shared backward pass)."""
-        features = self.model.shared_features(inputs)
-        cut = Tensor(features.data)
-        cut.requires_grad = True
-        outputs = self.model.forward_heads(cut)
-        loss_tensors = [
-            task.loss_fn(outputs[task.name], targets[task.name]) for task in self.tasks
-        ]
-        losses = np.array([loss.item() for loss in loss_tensors])
+        telemetry = self.telemetry
+        with telemetry.span("forward"):
+            features = self.model.shared_features(inputs)
+            cut = Tensor(features.data)
+            cut.requires_grad = True
+            outputs = self.model.forward_heads(cut)
+            loss_tensors = [
+                task.loss_fn(outputs[task.name], targets[task.name]) for task in self.tasks
+            ]
+            losses = np.array([loss.item() for loss in loss_tensors])
         grads = np.empty((len(self.tasks), cut.size))
-        for k, loss in enumerate(loss_tensors):
-            cut.zero_grad()
-            loss.backward()
-            grads[k] = cut.grad.reshape(-1)
+        with telemetry.span("backward"):
+            for k, loss in enumerate(loss_tensors):
+                with telemetry.span("task_backward", task=self.tasks[k].name):
+                    cut.zero_grad()
+                    loss.backward()
+                    grads[k] = cut.grad.reshape(-1)
         self._record_conflicts(grads)
-        combined = self.balancer.balance(grads, losses)
-        features.backward(combined.reshape(features.shape))
+        with telemetry.span("balance", method=self.balancer.name):
+            combined = self.balancer.balance(grads, losses)
+        # The single shared-trunk backprop that makes this mode fast is
+        # still backward time; it is recorded under its own span so
+        # backward_seconds can include it.
+        with telemetry.span("backward_shared"):
+            features.backward(combined.reshape(features.shape))
         return losses
 
     def train_step_multi(self, batches: Mapping[str, tuple]) -> np.ndarray:
         """One step in multi-input mode; ``batches[task] = (inputs, targets)``."""
-        start = time.perf_counter()
-        self.model.train()
-        shared = self.model.shared_parameters()
-        self.model.zero_grad()
-        losses = np.empty(len(self.tasks))
-        grads = np.empty((len(self.tasks), sum(p.size for p in shared)))
-        for k, task in enumerate(self.tasks):
-            inputs, targets = batches[task.name]
-            output = self.model.forward(inputs, task.name)
-            loss = task.loss_fn(output, targets)
-            losses[k] = loss.item()
-            for param in shared:
-                param.zero_grad()
-            loss.backward()
-            grads[k] = grad_vector(shared)
-        self._record_conflicts(grads)
-        combined = self.balancer.balance(grads, losses)
-        set_grad_from_vector(shared, combined)
-        self.optimizer.step()
-        self.model.zero_grad()
-        self.last_step_seconds = time.perf_counter() - start
-        self.backward_seconds_total += self.last_step_seconds
-        self.step_seconds.append(self.last_step_seconds)
+        telemetry = self.telemetry
+        with telemetry.span("step", **self._step_labels):
+            self.model.train()
+            shared = self.model.shared_parameters()
+            self.model.zero_grad()
+            losses = np.empty(len(self.tasks))
+            loss_tensors = []
+            with telemetry.span("forward"):
+                for k, task in enumerate(self.tasks):
+                    inputs, targets = batches[task.name]
+                    output = self.model.forward(inputs, task.name)
+                    loss = task.loss_fn(output, targets)
+                    loss_tensors.append(loss)
+                    losses[k] = loss.item()
+            grads = np.empty((len(self.tasks), sum(p.size for p in shared)))
+            with telemetry.span("backward"):
+                for k, loss in enumerate(loss_tensors):
+                    with telemetry.span("task_backward", task=self.tasks[k].name):
+                        for param in shared:
+                            param.zero_grad()
+                        loss.backward()
+                        grads[k] = grad_vector(shared)
+            self._record_conflicts(grads)
+            with telemetry.span("balance", method=self.balancer.name):
+                combined = self.balancer.balance(grads, losses)
+            set_grad_from_vector(shared, combined)
+            with telemetry.span("optimizer_step"):
+                self.optimizer.step()
+            self.model.zero_grad()
+        self._finish_step(losses)
+        return losses
+
+    def _finish_step(self, losses: np.ndarray) -> None:
+        """Bookkeeping shared by both step functions."""
         self.step_count += 1
         self.history.record_step(losses)
-        return losses
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter("train_steps_total", **self._step_labels).inc()
+            for task, loss in zip(self.tasks, losses):
+                telemetry.gauge("train_loss", task=task.name).set(float(loss))
 
     def _record_conflicts(self, grads: np.ndarray) -> None:
         if not self.track_conflicts:
@@ -209,7 +260,7 @@ class MTLTrainer:
         mean_gcd = (
             float(matrix[np.triu_indices(num_tasks, k=1)].mean()) if num_tasks > 1 else 0.0
         )
-        self.conflict_history.append((mean_gcd, conflict_fraction(grads)))
+        self.conflict_stats.append((mean_gcd, conflict_fraction(grads)))
 
     # ------------------------------------------------------------------
     # Gradient inspection (used by the TCI/GCD analysis)
@@ -243,7 +294,8 @@ class MTLTrainer:
         """Train for ``epochs`` epochs; optionally evaluate per epoch.
 
         ``train_data`` is an :class:`ArrayDataset` (single-input) or a
-        ``{task: ArrayDataset}`` mapping (multi-input).
+        ``{task: ArrayDataset}`` mapping (multi-input).  On completion the
+        trainer's metric registry is flushed to the attached sinks.
         """
         for _ in range(epochs):
             if self.mode == SINGLE_INPUT:
@@ -252,6 +304,8 @@ class MTLTrainer:
                 self._run_epoch_multi(train_data, batch_size, max_steps_per_epoch)
             metrics = self.evaluate(eval_data) if eval_data is not None else None
             self.history.close_epoch(metrics)
+            self.telemetry.counter("train_epochs_total", **self._step_labels).inc()
+        self.telemetry.flush()
         return self.history
 
     def _run_epoch_single(self, dataset: ArrayDataset, batch_size: int, max_steps) -> None:
@@ -291,16 +345,90 @@ class MTLTrainer:
 
         return evaluate_model(self.model, self.tasks, data, self.mode, batch_size)
 
+    # ------------------------------------------------------------------
+    # Timing views (span-backed)
+    # ------------------------------------------------------------------
+    @property
+    def last_step_seconds(self) -> float:
+        """Wall-clock seconds of the most recent optimization step."""
+        durations = self.telemetry.durations("step")
+        return durations[-1] if durations else 0.0
+
+    @property
+    def backward_seconds(self) -> list[float]:
+        """Per-step *backward-only* seconds (the paper's Fig. 8 quantity).
+
+        Sum of the per-task backward passes; with
+        ``grad_source="features"`` the single shared-trunk backprop is
+        included as well.
+        """
+        per_step = self.telemetry.durations("step/backward")
+        shared = self.telemetry.durations("step/backward_shared")
+        if shared and len(shared) == len(per_step):
+            return [b + s for b, s in zip(per_step, shared)]
+        return per_step
+
     @property
     def mean_step_seconds(self) -> float:
-        """Average wall-clock seconds per optimization step (Fig. 8)."""
-        if self.step_count == 0:
-            return 0.0
-        return self.backward_seconds_total / self.step_count
+        """Average wall-clock seconds per *whole* optimization step."""
+        durations = self.telemetry.durations("step")
+        return float(np.mean(durations)) if durations else 0.0
 
     @property
     def median_step_seconds(self) -> float:
-        """Median step time — robust to scheduler noise (used by Fig. 8)."""
-        if not self.step_seconds:
-            return 0.0
-        return float(np.median(self.step_seconds))
+        """Median step time — robust to scheduler noise."""
+        durations = self.telemetry.durations("step")
+        return float(np.median(durations)) if durations else 0.0
+
+    @property
+    def mean_backward_seconds(self) -> float:
+        """Average backward-only seconds per step (Fig. 8)."""
+        durations = self.backward_seconds
+        return float(np.mean(durations)) if durations else 0.0
+
+    @property
+    def median_backward_seconds(self) -> float:
+        """Median backward-only seconds per step (Fig. 8)."""
+        durations = self.backward_seconds
+        return float(np.median(durations)) if durations else 0.0
+
+    # ------------------------------------------------------------------
+    # Deprecated pre-`repro.obs` instrumentation surface
+    # ------------------------------------------------------------------
+    @property
+    def step_seconds(self) -> list[float]:
+        """Deprecated: use ``trainer.telemetry.durations("step")``."""
+        warnings.warn(
+            "MTLTrainer.step_seconds is deprecated; read span durations from "
+            'trainer.telemetry.durations("step") instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.telemetry.durations("step")
+
+    @property
+    def backward_seconds_total(self) -> float:
+        """Deprecated: use ``sum(trainer.backward_seconds)``.
+
+        Historical note: this attribute used to accumulate *whole-step*
+        wall-clock (forward + balancing + optimizer) under a backward-time
+        name; it now returns genuinely backward-only seconds.
+        """
+        warnings.warn(
+            "MTLTrainer.backward_seconds_total is deprecated; use "
+            "sum(trainer.backward_seconds) (note: now backward-only time, "
+            "not whole-step time)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return float(sum(self.backward_seconds))
+
+    @property
+    def conflict_history(self) -> list[tuple[float, float]]:
+        """Deprecated alias of :attr:`conflict_stats`."""
+        warnings.warn(
+            "MTLTrainer.conflict_history is deprecated; use trainer.conflict_stats",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.conflict_stats

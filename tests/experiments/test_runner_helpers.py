@@ -55,3 +55,34 @@ class TestSeedAveraging:
         stl = run_stl_baseline(bench, config)
         assert set(stl) == {"task0", "task1"}
         assert "rmse" in stl["task0"]
+
+
+class TestMethodResult:
+    def test_history_is_an_instance_field(self):
+        """history must be a dataclass field, not a shared class attribute
+        (the missing-annotation bug made every instance alias one value)."""
+        from dataclasses import fields
+
+        from repro.experiments import MethodResult
+
+        assert "history" in {f.name for f in fields(MethodResult)}
+        a = MethodResult("equal", {}, history="h1")
+        b = MethodResult("mgda", {})
+        assert a.history == "h1"
+        assert b.history is None
+
+    def test_run_methods_populates_history_and_telemetry(self):
+        from repro.data import make_synthetic_mtl
+        from repro.experiments import run_methods
+        from repro.training import History
+
+        bench = make_synthetic_mtl(num_tasks=2, num_samples=120, seed=0)
+        config = RunConfig(epochs=2, batch_size=32, seed=0, num_seeds=1)
+        results = run_methods(bench, methods=("equal",), config=config)
+        result = results["equal"]
+        assert isinstance(result.history, History)
+        assert result.history.num_epochs == 2
+        assert "step" in result.telemetry["spans"]
+        assert "step/backward" in result.telemetry["spans"]
+        counter_names = {m["name"] for m in result.telemetry["metrics"]}
+        assert "balancer_conflicts_total" in counter_names

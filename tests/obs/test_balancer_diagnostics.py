@@ -1,0 +1,121 @@
+"""Balancer-side telemetry: base conflict counters, MoCoGrad calibration."""
+
+import numpy as np
+import pytest
+
+from repro.balancers import EqualWeighting
+from repro.core import MoCoGrad
+from repro.obs import Telemetry
+
+
+def counter_value(telemetry, name, **labels):
+    return telemetry.registry.counter(name, **labels).value
+
+
+@pytest.fixture()
+def conflicting():
+    grads = np.array([[1.0, 0.0], [-1.0, 0.2]])
+    losses = np.array([1.0, 1.0])
+    return grads, losses
+
+
+class TestBaseConflictCounters:
+    def test_every_balancer_counts_pairs(self, conflicting):
+        grads, losses = conflicting
+        balancer = EqualWeighting()
+        balancer.telemetry = Telemetry()
+        balancer.balance(grads, losses)
+        balancer.balance(grads, losses)
+        assert counter_value(balancer.telemetry, "balancer_pairs_total", method="equal") == 2
+        assert (
+            counter_value(balancer.telemetry, "balancer_conflicts_total", method="equal") == 2
+        )
+        assert balancer.telemetry.registry.gauge(
+            "balancer_conflict_fraction", method="equal"
+        ).value == pytest.approx(1.0)
+
+    def test_agreeing_gradients_count_zero_conflicts(self):
+        balancer = EqualWeighting()
+        balancer.telemetry = Telemetry()
+        grads = np.array([[1.0, 0.0], [1.0, 0.5]])
+        balancer.balance(grads, np.ones(2))
+        assert counter_value(balancer.telemetry, "balancer_pairs_total", method="equal") == 1
+        assert (
+            counter_value(balancer.telemetry, "balancer_conflicts_total", method="equal") == 0
+        )
+
+    def test_disabled_telemetry_records_nothing(self, conflicting):
+        grads, losses = conflicting
+        balancer = EqualWeighting()  # default: NULL_TELEMETRY
+        balancer.balance(grads, losses)
+        assert balancer.telemetry.summary() == {}
+
+    def test_three_tasks_pair_count(self):
+        balancer = EqualWeighting()
+        balancer.telemetry = Telemetry()
+        grads = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, -1.0]])
+        balancer.balance(grads, np.ones(3))
+        # 3 choose 2 pairs; only the pairs involving task 2 conflict.
+        assert counter_value(balancer.telemetry, "balancer_pairs_total", method="equal") == 3
+        assert (
+            counter_value(balancer.telemetry, "balancer_conflicts_total", method="equal") == 2
+        )
+
+
+class TestMoCoGradCalibrationCounters:
+    def test_first_step_skips_for_zero_momentum(self, conflicting):
+        grads, losses = conflicting
+        balancer = MoCoGrad(seed=0)
+        balancer.telemetry = Telemetry()
+        balancer.reset(2)
+        balancer.balance(grads, losses)
+        telemetry = balancer.telemetry
+        # Both ordered pairs (i→j, j→i) conflict; momentum is all-zero at
+        # t=0, so every calibration is skipped.
+        assert counter_value(telemetry, "mocograd_conflicts_total") == 2
+        assert counter_value(telemetry, "mocograd_skipped_zero_momentum_total") == 2
+        assert counter_value(telemetry, "mocograd_calibrations_total") == 0
+
+    def test_second_step_applies_calibrations(self, conflicting):
+        grads, losses = conflicting
+        balancer = MoCoGrad(seed=0)
+        balancer.telemetry = Telemetry()
+        balancer.reset(2)
+        balancer.balance(grads, losses)
+        balancer.balance(grads, losses)
+        telemetry = balancer.telemetry
+        assert counter_value(telemetry, "mocograd_conflicts_total") == 4
+        assert counter_value(telemetry, "mocograd_skipped_zero_momentum_total") == 2
+        assert counter_value(telemetry, "mocograd_calibrations_total") == 2
+
+    def test_lambda_gauge_tracks_decay_schedule(self, conflicting):
+        grads, losses = conflicting
+        balancer = MoCoGrad(calibration=0.5, calibration_decay=0.5, seed=0)
+        balancer.telemetry = Telemetry()
+        balancer.reset(2)
+        balancer.balance(grads, losses)
+        gauge = balancer.telemetry.registry.gauge("mocograd_lambda")
+        assert gauge.value == pytest.approx(0.5)  # λ/1^0.5 at step 1
+        balancer.balance(grads, losses)
+        assert gauge.value == pytest.approx(0.5 / np.sqrt(2))
+
+    def test_momentum_norm_gauges_per_task(self, conflicting):
+        grads, losses = conflicting
+        balancer = MoCoGrad(beta1=0.9, seed=0)
+        balancer.telemetry = Telemetry()
+        balancer.reset(2)
+        balancer.balance(grads, losses)
+        for task_index in range(2):
+            gauge = balancer.telemetry.registry.gauge(
+                "mocograd_momentum_norm", task=str(task_index)
+            )
+            expected = 0.1 * np.linalg.norm(grads[task_index])
+            assert gauge.value == pytest.approx(expected)
+
+    def test_counters_unchanged_for_non_conflicting(self):
+        balancer = MoCoGrad(seed=0)
+        balancer.telemetry = Telemetry()
+        balancer.reset(2)
+        grads = np.array([[1.0, 0.0], [1.0, 0.1]])
+        balancer.balance(grads, np.ones(2))
+        assert counter_value(balancer.telemetry, "mocograd_conflicts_total") == 0

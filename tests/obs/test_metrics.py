@@ -1,0 +1,120 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("steps")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("steps")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("steps", method="equal").inc(4)
+        snap = registry.snapshot()
+        assert snap == [
+            {
+                "kind": "counter",
+                "name": "steps",
+                "labels": {"method": "equal"},
+                "value": 4.0,
+            }
+        ]
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("lambda")
+        assert math.isnan(gauge.value)
+        gauge.set(0.12)
+        gauge.set(0.06)
+        assert gauge.value == pytest.approx(0.06)
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.555)
+        assert histogram.mean == pytest.approx(5.555 / 4)
+
+    def test_boundary_lands_in_le_bucket(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        histogram.observe(0.1)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_snapshot_includes_inf_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0,)).observe(2.0)
+        (snap,) = registry.snapshot()
+        assert snap["buckets"] == [
+            {"le": 1.0, "count": 0},
+            {"le": math.inf, "count": 1},
+        ]
+
+    def test_rejects_bad_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(1.0, 1.0))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("lat", buckets=(1.0, 3.0))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("steps", task="ctr")
+        b = registry.counter("steps", task="ctr")
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("steps", a="1", b="2")
+        b = registry.counter("steps", b="2", a="1")
+        assert a is b
+
+    def test_distinct_labels_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("steps", task="ctr")
+        b = registry.counter("steps", task="ctcvr")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("steps")
+        with pytest.raises(ValueError):
+            registry.gauge("steps")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_snapshot_order_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a", task="2")
+        registry.counter("a", task="1")
+        names = [(s["name"], tuple(sorted(s["labels"].items()))) for s in registry.snapshot()]
+        assert names == sorted(names)

@@ -1,0 +1,66 @@
+"""Regression bound on instrumentation cost.
+
+The observability layer must be cheap enough to leave on: with a no-op
+sink attached, an instrumented ``train_step_single`` must stay within
+1.5× the median uninstrumented step time on the synthetic benchmark.
+
+The two trainers are stepped in alternation (A, B, A, B, …) so that any
+background load on the test machine inflates both medians equally rather
+than biasing whichever variant happened to run second.
+"""
+
+import time
+
+import numpy as np
+
+from repro.balancers import EqualWeighting
+from repro.data import make_synthetic_mtl
+from repro.obs import NULL_TELEMETRY, NullSink, Telemetry
+from repro.training import MTLTrainer
+
+
+def _make_trainer(telemetry):
+    benchmark = make_synthetic_mtl(num_tasks=2, num_samples=512, seed=0)
+    model = benchmark.build_model("hps", np.random.default_rng(0))
+    trainer = MTLTrainer(
+        model,
+        benchmark.tasks,
+        EqualWeighting(),
+        seed=0,
+        telemetry=telemetry,
+    )
+    rng = np.random.default_rng(1)
+    idx = rng.choice(len(benchmark.train), size=64, replace=False)
+    inputs, targets = benchmark.train.batch(idx)
+    return trainer, inputs, targets
+
+
+def _timed_step(trainer, inputs, targets) -> float:
+    start = time.perf_counter()
+    trainer.train_step_single(inputs, targets)
+    return time.perf_counter() - start
+
+
+def measure_overhead(steps=40, warmup=5):
+    """Median step times (uninstrumented, instrumented), interleaved."""
+    bare = _make_trainer(NULL_TELEMETRY)
+    instrumented = _make_trainer(Telemetry(sinks=[NullSink()]))
+    bare_times, instrumented_times = [], []
+    for step in range(warmup + steps):
+        bare_elapsed = _timed_step(*bare)
+        instrumented_elapsed = _timed_step(*instrumented)
+        if step >= warmup:
+            bare_times.append(bare_elapsed)
+            instrumented_times.append(instrumented_elapsed)
+    return float(np.median(bare_times)), float(np.median(instrumented_times))
+
+
+def test_instrumented_step_within_1_5x_of_uninstrumented():
+    uninstrumented, instrumented = measure_overhead()
+    if instrumented > 1.5 * uninstrumented:
+        # One retry with more samples guards against a transient load spike.
+        uninstrumented, instrumented = measure_overhead(steps=120, warmup=10)
+    assert instrumented <= 1.5 * uninstrumented, (
+        f"telemetry overhead too high: instrumented {instrumented * 1e6:.0f}µs vs "
+        f"uninstrumented {uninstrumented * 1e6:.0f}µs"
+    )

@@ -1,0 +1,156 @@
+"""Unit tests for JSONL loading and run-report summarization."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    Telemetry,
+    format_report,
+    load_events,
+    summarize_events,
+)
+
+
+def write_jsonl(path, events):
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+
+
+class TestLoadEvents:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        events = [{"type": "run", "experiment": "table1"}, {"type": "span", "path": "step"}]
+        write_jsonl(path, events)
+        assert load_events(path) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"type": "run"}\n\n\n{"type": "span", "path": "s", "seconds": 1}\n')
+        assert len(load_events(path)) == 2
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"type": "run"}\n{"type": "sp')  # killed mid-write
+        assert load_events(path) == [{"type": "run"}]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write('not json\n{"type": "run"}\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_events(path)
+
+
+class TestSummarize:
+    def test_span_statistics(self):
+        events = [
+            {"type": "span", "path": "step", "seconds": s} for s in (0.1, 0.2, 0.3)
+        ]
+        summary = summarize_events(events)
+        stats = summary["spans"]["step"]
+        assert stats["count"] == 3
+        assert stats["total_seconds"] == pytest.approx(0.6)
+        assert stats["median_seconds"] == pytest.approx(0.2)
+
+    def test_counters_take_last_snapshot_per_tid_then_sum(self):
+        events = [
+            # tid 1 flushed twice (cumulative!): only the last snapshot counts.
+            {"type": "metric", "kind": "counter", "name": "c", "labels": {}, "value": 5, "tid": 1},
+            {"type": "metric", "kind": "counter", "name": "c", "labels": {}, "value": 9, "tid": 1},
+            # A second trainer adds its own total.
+            {"type": "metric", "kind": "counter", "name": "c", "labels": {}, "value": 2, "tid": 2},
+        ]
+        summary = summarize_events(events)
+        assert summary["counters"]["c"][()] == pytest.approx(11.0)
+
+    def test_gauges_keep_latest_by_timestamp(self):
+        events = [
+            {"type": "metric", "kind": "gauge", "name": "g", "labels": {}, "value": 1.0, "ts": 10},
+            {"type": "metric", "kind": "gauge", "name": "g", "labels": {}, "value": 2.0, "ts": 20},
+        ]
+        summary = summarize_events(events)
+        assert summary["gauges"][("g", ())] == pytest.approx(2.0)
+
+
+class TestFormatReport:
+    def test_renders_spans_and_conflicts(self):
+        events = [
+            {"type": "run", "experiment": "table1", "preset": "quick"},
+            {"type": "span", "path": "step", "seconds": 0.2},
+            {"type": "span", "path": "step/backward", "seconds": 0.1},
+            {
+                "type": "metric",
+                "kind": "counter",
+                "name": "balancer_pairs_total",
+                "labels": {"method": "mocograd"},
+                "value": 10,
+                "tid": 1,
+            },
+            {
+                "type": "metric",
+                "kind": "counter",
+                "name": "balancer_conflicts_total",
+                "labels": {"method": "mocograd"},
+                "value": 4,
+                "tid": 1,
+            },
+            {
+                "type": "metric",
+                "kind": "counter",
+                "name": "mocograd_calibrations_total",
+                "labels": {},
+                "value": 3,
+                "tid": 1,
+            },
+        ]
+        report = format_report(summarize_events(events))
+        assert "table1" in report
+        assert "step/backward" in report
+        assert "mocograd" in report
+        assert "0.400" in report  # conflict fraction
+        assert "calibrations applied: 3" in report
+
+    def test_empty_stream(self):
+        report = format_report(summarize_events([]))
+        assert "No spans recorded" in report
+
+
+class TestEndToEndRoundtrip:
+    def test_telemetry_to_file_to_report(self, tmp_path):
+        """Telemetry → JsonlSink → load → summarize → format."""
+        path = str(tmp_path / "run.jsonl")
+        sink = JsonlSink(path)
+        telemetry = Telemetry(sinks=[sink])
+        with telemetry.span("step", method="equal"):
+            with telemetry.span("backward"):
+                pass
+        telemetry.counter("balancer_pairs_total", method="equal").inc(3)
+        telemetry.counter("balancer_conflicts_total", method="equal").inc(1)
+        telemetry.flush()
+        sink.close()
+
+        summary = summarize_events(load_events(path))
+        assert summary["spans"]["step"]["count"] == 1
+        assert summary["spans"]["step/backward"]["count"] == 1
+        report = format_report(summary)
+        assert "Per-phase timing" in report
+        assert "equal" in report
+
+    def test_memory_and_jsonl_sinks_agree(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        memory = InMemorySink()
+        jsonl = JsonlSink(path)
+        telemetry = Telemetry(sinks=[memory, jsonl])
+        with telemetry.span("step"):
+            pass
+        telemetry.flush()
+        jsonl.close()
+        from_file = load_events(path)
+        assert len(from_file) == len(memory.events)
+        assert [e["type"] for e in from_file] == [e["type"] for e in memory.events]

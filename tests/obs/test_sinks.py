@@ -1,0 +1,132 @@
+"""Unit tests for the event sinks and the Telemetry facade plumbing."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    Telemetry,
+    configure_sinks,
+    default_sinks,
+)
+
+
+class TestInMemorySink:
+    def test_buffers_events(self):
+        sink = InMemorySink()
+        sink.emit({"type": "span", "name": "step"})
+        sink.emit({"type": "metric", "name": "steps"})
+        assert len(sink.events) == 2
+        assert sink.of_type("span") == [{"type": "span", "name": "step"}]
+
+    def test_copies_events(self):
+        sink = InMemorySink()
+        event = {"type": "span"}
+        sink.emit(event)
+        event["type"] = "mutated"
+        assert sink.events[0]["type"] == "span"
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"type": "span", "seconds": 0.25})
+            sink.emit({"type": "metric", "value": 3})
+        lines = open(path).read().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["span", "metric"]
+
+    def test_accepts_stream(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit({"a": 1})
+        sink.close()
+        assert json.loads(stream.getvalue()) == {"a": 1}
+        # Stream ownership stays with the caller.
+        assert not stream.closed
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "out.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit({"a": 1})
+
+    def test_serializes_numpy_scalars(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = str(tmp_path / "out.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"value": np.float64(1.5), "count": np.int64(2)})
+        assert json.loads(open(path).read()) == {"value": 1.5, "count": 2}
+
+
+class TestTelemetryPlumbing:
+    def test_spans_reach_sinks(self):
+        sink = InMemorySink()
+        telemetry = Telemetry(sinks=[sink])
+        with telemetry.span("step", method="equal"):
+            with telemetry.span("forward"):
+                pass
+        spans = sink.of_type("span")
+        assert [s["path"] for s in spans] == ["step/forward", "step"]
+        assert spans[1]["labels"] == {"method": "equal"}
+        assert all(s["tid"] == telemetry.id for s in spans)
+
+    def test_flush_emits_metric_snapshot(self):
+        sink = InMemorySink()
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.counter("steps", method="equal").inc(3)
+        telemetry.flush()
+        metrics = sink.of_type("metric")
+        counter = [m for m in metrics if m["name"] == "steps"]
+        assert counter and counter[0]["value"] == 3.0
+
+    def test_span_durations_feed_histogram(self):
+        telemetry = Telemetry()
+        with telemetry.span("step"):
+            pass
+        snap = [s for s in telemetry.registry.snapshot() if s["name"] == "span_seconds"]
+        assert snap and snap[0]["count"] == 1
+
+    def test_summary_contains_span_stats(self):
+        telemetry = Telemetry()
+        with telemetry.span("step"):
+            pass
+        summary = telemetry.summary()
+        assert summary["spans"]["step"]["count"] == 1
+        assert summary["spans"]["step"]["total_seconds"] >= 0.0
+
+    def test_close_flushes_and_closes_sinks(self):
+        sink = InMemorySink()
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.counter("steps").inc()
+        telemetry.close()
+        assert sink.closed
+        assert sink.of_type("metric")
+
+    def test_null_telemetry_is_inert(self):
+        NULL_TELEMETRY.counter("steps").inc()
+        NULL_TELEMETRY.gauge("g").set(1.0)
+        with NULL_TELEMETRY.span("step"):
+            pass
+        assert NULL_TELEMETRY.durations("step") == []
+        assert NULL_TELEMETRY.summary() == {}
+        assert not NULL_TELEMETRY.enabled
+        assert Telemetry.disabled() is NULL_TELEMETRY
+
+    def test_default_sinks_roundtrip(self):
+        sink = NullSink()
+        try:
+            configure_sinks([sink])
+            assert default_sinks() == [sink]
+            telemetry = Telemetry(sinks=default_sinks())
+            with telemetry.span("step"):
+                pass
+            assert sink.emitted == 1
+        finally:
+            configure_sinks([])
+        assert default_sinks() == []

@@ -1,0 +1,125 @@
+"""Unit tests for tracing spans: nesting, paths, thread isolation."""
+
+import threading
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestSpans:
+    def test_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("step"):
+            pass
+        (duration,) = tracer.durations("step")
+        assert duration >= 0.0
+
+    def test_nested_paths(self):
+        tracer = Tracer()
+        with tracer.span("step"):
+            with tracer.span("backward"):
+                with tracer.span("task_backward"):
+                    pass
+            with tracer.span("balance"):
+                pass
+        assert tracer.paths() == [
+            "step",
+            "step/backward",
+            "step/backward/task_backward",
+            "step/balance",
+        ]
+
+    def test_sibling_spans_share_path(self):
+        tracer = Tracer()
+        with tracer.span("step"):
+            for _ in range(3):
+                with tracer.span("backward"):
+                    pass
+        assert len(tracer.durations("step/backward")) == 3
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.durations("outer")
+        (inner,) = tracer.durations("outer/inner")
+        assert outer >= inner
+
+    def test_active_path(self):
+        tracer = Tracer()
+        assert tracer.active_path() is None
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.active_path() == "a/b"
+            assert tracer.active_path() == "a"
+        assert tracer.active_path() is None
+
+    def test_labels_are_stringified(self):
+        records = []
+        tracer = Tracer(on_close=records.append)
+        with tracer.span("backward", task=0):
+            pass
+        assert records[0].labels == {"task": "0"}
+
+    def test_on_close_called_per_span(self):
+        records = []
+        tracer = Tracer(on_close=records.append)
+        with tracer.span("step"):
+            with tracer.span("forward"):
+                pass
+        # Children close before parents.
+        assert [r.path for r in records] == ["step/forward", "step"]
+        assert records[0].depth == 1 and records[1].depth == 0
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("step"):
+                raise RuntimeError("boom")
+        assert len(tracer.durations("step")) == 1
+        assert tracer.active_path() is None
+
+    def test_invalid_names_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.span("")
+        with pytest.raises(ValueError):
+            tracer.span("a/b")
+
+    def test_reset_clears_durations(self):
+        tracer = Tracer()
+        with tracer.span("step"):
+            pass
+        tracer.reset()
+        assert tracer.durations("step") == []
+        assert tracer.paths() == []
+
+
+class TestThreadIsolation:
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with tracer.span(name):
+                        barrier.wait(timeout=5)
+                        with tracer.span("inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Each thread nested its own inner spans under its own root.
+        assert len(tracer.durations("a/inner")) == 50
+        assert len(tracer.durations("b/inner")) == 50
+        assert tracer.durations("a/b") == []

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.training",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
 ]
 
 

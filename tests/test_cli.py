@@ -33,3 +33,66 @@ class TestCLI:
         main(["table1", "--methods", "equal,mocograd"])
         assert captured["methods"] == ("equal", "mocograd")
         assert "ok" in capsys.readouterr().out
+
+
+class TestTelemetryCLI:
+    def test_telemetry_flag_streams_events(self, capsys, tmp_path, monkeypatch):
+        """--telemetry installs a JSONL sink that real trainers write to."""
+        from repro import obs
+
+        def fake_run_table(identifier, preset, methods):
+            # Simulate what any experiment does: train under the ambient sinks.
+            telemetry = obs.Telemetry(sinks=obs.default_sinks())
+            with telemetry.span("step", method="equal"):
+                pass
+            telemetry.counter("train_steps_total", method="equal").inc()
+            telemetry.flush()
+            return "ok"
+
+        monkeypatch.setattr("repro.__main__._run_table", fake_run_table)
+        path = str(tmp_path / "out.jsonl")
+        assert main(["table1", "--telemetry", path]) == 0
+        events = obs.load_events(path)
+        types = {e["type"] for e in events}
+        assert types == {"run", "span", "metric"}
+        assert events[0]["experiment"] == "table1"
+        # The global sink list is restored afterwards.
+        assert obs.default_sinks() == []
+
+    def test_sink_closed_even_when_run_raises(self, tmp_path, monkeypatch):
+        from repro import obs
+
+        def boom(identifier, preset, methods):
+            raise RuntimeError("experiment failed")
+
+        monkeypatch.setattr("repro.__main__._run_table", boom)
+        path = str(tmp_path / "out.jsonl")
+        with pytest.raises(RuntimeError):
+            main(["table1", "--telemetry", path])
+        assert obs.default_sinks() == []
+        assert obs.load_events(path)[0]["type"] == "run"
+
+    def test_report_renders_saved_run(self, capsys, tmp_path):
+        from repro import obs
+
+        path = str(tmp_path / "out.jsonl")
+        sink = obs.JsonlSink(path)
+        sink.emit({"type": "run", "experiment": "table1", "preset": "quick", "ts": 0.0})
+        telemetry = obs.Telemetry(sinks=[sink])
+        with telemetry.span("step", method="mocograd"):
+            with telemetry.span("backward"):
+                pass
+        telemetry.counter("balancer_pairs_total", method="mocograd").inc(4)
+        telemetry.counter("balancer_conflicts_total", method="mocograd").inc(1)
+        telemetry.flush()
+        sink.close()
+
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "step/backward" in out
+        assert "mocograd" in out
+
+    def test_report_without_path_errors(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

@@ -43,6 +43,34 @@ class TestEarlyStopping:
         stopper.update(float("nan"))
         assert stopper.update(float("nan"))
 
+    def test_non_finite_never_becomes_best(self):
+        """-inf would otherwise 'improve' forever in min mode (and +inf in
+        max mode), disabling early stopping for a diverged run."""
+        stopper = EarlyStopping(patience=2, mode="min")
+        stopper.update(float("-inf"))
+        assert stopper.best is None
+        assert stopper.update(float("-inf"))  # second stale epoch ⇒ stop
+
+    def test_positive_inf_in_max_mode_is_stale(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.update(0.5)
+        assert not stopper.update(float("inf"))
+        assert stopper.best == 0.5
+        assert stopper.update(float("inf"))
+
+    def test_recovery_after_non_finite_epoch(self):
+        stopper = EarlyStopping(patience=3, mode="min")
+        stopper.update(1.0)
+        stopper.update(float("nan"))
+        assert not stopper.update(0.5)  # finite improvement resets staleness
+        assert stopper.best == 0.5
+        assert stopper.stale_epochs == 0
+
+    def test_nan_before_any_finite_value(self):
+        stopper = EarlyStopping(patience=1, mode="min")
+        assert stopper.update(float("nan"))
+        assert stopper.best is None
+
     def test_validation(self):
         with pytest.raises(ValueError):
             EarlyStopping(patience=0)
@@ -93,8 +121,8 @@ class TestConflictTracking:
             model, tasks, EqualWeighting(), seed=0, track_conflicts=True
         )
         trainer.fit(data, epochs=2, batch_size=16)
-        assert len(trainer.conflict_history) == trainer.step_count
-        for mean_gcd, fraction in trainer.conflict_history:
+        assert len(trainer.conflict_stats) == trainer.step_count
+        for mean_gcd, fraction in trainer.conflict_stats:
             assert 0.0 <= mean_gcd <= 2.0
             assert 0.0 <= fraction <= 1.0
 
@@ -109,7 +137,7 @@ class TestConflictTracking:
         model = SharedOutputRegressor(["a", "b"], 10, rng)
         trainer = MTLTrainer(model, tasks, EqualWeighting(), lr=1e-2, seed=0, track_conflicts=True)
         trainer.fit(data, epochs=6, batch_size=32)
-        fractions = [fraction for _, fraction in trainer.conflict_history[-4:]]
+        fractions = [fraction for _, fraction in trainer.conflict_stats[-4:]]
         assert np.mean(fractions) > 0.5
 
     def test_disabled_by_default(self, rng):
@@ -119,4 +147,4 @@ class TestConflictTracking:
         model = HardParameterSharing(MLPEncoder(3, [4], rng), {"a": LinearHead(4, 1, rng)})
         trainer = MTLTrainer(model, tasks, EqualWeighting(), seed=0)
         trainer.fit(data, epochs=1, batch_size=8)
-        assert trainer.conflict_history == []
+        assert trainer.conflict_stats == []

@@ -30,6 +30,39 @@ class TestHistory:
         history.close_epoch()
         assert np.isnan(history.epoch_losses[0][0])
 
+    def test_empty_epoch_nan_row_covers_every_task(self):
+        history = History(["a", "b", "c"])
+        history.close_epoch()
+        assert history.epoch_losses[0].shape == (3,)
+        assert np.all(np.isnan(history.epoch_losses[0]))
+
+    def test_empty_epoch_after_full_epoch(self):
+        """A zero-step epoch must not re-consume the previous epoch's steps."""
+        history = History(["a"])
+        history.record_step(np.array([2.0]))
+        history.close_epoch()
+        history.close_epoch()  # no steps recorded in between
+        np.testing.assert_allclose(history.epoch_losses[0], [2.0])
+        assert np.isnan(history.epoch_losses[1][0])
+        # A later epoch with steps resumes normally.
+        history.record_step(np.array([4.0]))
+        history.close_epoch()
+        np.testing.assert_allclose(history.epoch_losses[2], [4.0])
+
+    def test_empty_epoch_curves_and_final_losses(self):
+        history = History(["a", "b"])
+        history.close_epoch()
+        curve = history.average_loss_curve()
+        assert curve.shape == (1,) and np.isnan(curve[0])
+        finals = history.final_losses()
+        assert set(finals) == {"a", "b"}
+        assert all(np.isnan(v) for v in finals.values())
+
+    def test_empty_epoch_records_metrics(self):
+        history = History(["a"])
+        history.close_epoch({"a": {"rmse": 0.25}})
+        assert history.epoch_metrics[0]["a"]["rmse"] == 0.25
+
     def test_task_loss_curve(self):
         history = History(["a", "b"])
         history.record_step(np.array([1.0, 5.0]))
