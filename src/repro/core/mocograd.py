@@ -115,8 +115,18 @@ class MoCoGrad(GradientBalancer):
         """
         grads = np.asarray(grads, dtype=np.float64)
         num_tasks, dim = grads.shape
-        if self._momentum is None or self._momentum.shape != grads.shape:
+        if self._momentum is None:
             self._momentum = np.zeros_like(grads)
+        elif self._momentum.shape != grads.shape:
+            # Silently zero-resetting here would invalidate Eq. (9)'s
+            # momentum history mid-run without any signal; make the caller
+            # decide.
+            self.telemetry.counter("mocograd_momentum_shape_mismatch_total").inc()
+            raise ValueError(
+                f"gradient matrix shape {grads.shape} does not match momentum state "
+                f"{self._momentum.shape}; the task count or shared-parameter set "
+                "changed mid-run — call reset() to start a fresh momentum history"
+            )
         if self.telemetry.enabled:
             # λ in effect for this step (step_count has not advanced yet).
             self.telemetry.gauge("mocograd_lambda").set(self.current_calibration())

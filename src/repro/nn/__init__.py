@@ -35,10 +35,21 @@ from .module import Module, ModuleList, Parameter
 from .optim import Adam, AdaGrad, Optimizer, RMSProp, SGD
 from .schedulers import CosineAnnealing, InversePower, InverseSqrt, Scheduler, StepDecay
 from .serialization import load_checkpoint, load_state, save_checkpoint
-from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
+from .tensor import (
+    Tensor,
+    as_tensor,
+    backward_multi,
+    concat,
+    register_multi_adjoint,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
 from .utils import (
     clip_grad_norm,
     grad_vector,
+    grad_vector_from_slots,
     parameter_vector,
     set_grad_from_vector,
     set_parameters_from_vector,
@@ -49,6 +60,8 @@ __all__ = [
     "init",
     "Tensor",
     "as_tensor",
+    "backward_multi",
+    "register_multi_adjoint",
     "concat",
     "stack",
     "where",
@@ -95,6 +108,7 @@ __all__ = [
     "load_checkpoint",
     "load_state",
     "grad_vector",
+    "grad_vector_from_slots",
     "set_grad_from_vector",
     "parameter_vector",
     "set_parameters_from_vector",

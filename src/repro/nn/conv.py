@@ -15,7 +15,7 @@ import numpy as np
 
 from . import init as init_module
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, register_multi_adjoint
 
 __all__ = ["pad2d", "Conv2d", "MaxPool2d", "AvgPool2d", "UpsampleNearest", "GlobalAvgPool2d"]
 
@@ -31,8 +31,17 @@ def pad2d(x: Tensor, padding: int) -> Tensor:
     out = x._make_child(data, (x,), "pad2d")
     if out.requires_grad:
         p = padding
+        out._ctx = p
         out._grad_fn = lambda g: (g[:, :, p:-p, p:-p],)
     return out
+
+
+def _multi_adj_pad2d(node, g):
+    p = node._ctx
+    return (g[:, :, :, p:-p, p:-p],)
+
+
+register_multi_adjoint("pad2d", _multi_adj_pad2d)
 
 
 def _im2col_indices(

@@ -34,7 +34,12 @@ class Scheduler:
         return self.optimizer.lr
 
     def compute_lr(self, count: int) -> float:
-        """The learning rate after ``count`` scheduler steps."""
+        """The learning rate after ``count`` scheduler steps.
+
+        Implementations must return a builtin :class:`float` — a numpy
+        scalar here would leak into ``optimizer.lr`` and from there into
+        telemetry JSONL, where ``np.float64`` is not JSON-serializable.
+        """
         raise NotImplementedError
 
 
@@ -51,7 +56,7 @@ class StepDecay(Scheduler):
         self.gamma = gamma
 
     def compute_lr(self, count: int) -> float:
-        return self.base_lr * self.gamma ** (count // self.period)
+        return float(self.base_lr * self.gamma ** (count // self.period))
 
 
 class CosineAnnealing(Scheduler):
@@ -68,8 +73,8 @@ class CosineAnnealing(Scheduler):
 
     def compute_lr(self, count: int) -> float:
         progress = min(count, self.total_steps) / self.total_steps
-        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
-            1.0 + np.cos(np.pi * progress)
+        return float(
+            self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + np.cos(np.pi * progress))
         )
 
 
@@ -83,7 +88,7 @@ class InversePower(Scheduler):
         self.power = power
 
     def compute_lr(self, count: int) -> float:
-        return self.base_lr / count**self.power
+        return float(self.base_lr / count**self.power)
 
 
 class InverseSqrt(InversePower):

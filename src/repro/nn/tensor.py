@@ -32,9 +32,12 @@ import numpy as np
 
 __all__ = [
     "Tensor",
+    "backward_multi",
+    "register_multi_adjoint",
     "no_grad",
     "is_grad_enabled",
     "unbroadcast",
+    "unbroadcast_lead",
     "as_tensor",
     "concat",
     "stack",
@@ -75,6 +78,25 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def unbroadcast_lead(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Like :func:`unbroadcast`, but preserving a leading root axis.
+
+    ``grad`` has shape ``(R, *broadcast_shape)``; the result has shape
+    ``(R, *shape)``.  Used by the batched adjoints of
+    :func:`backward_multi`, where axis 0 indexes the backward roots and
+    must never be reduced over.
+    """
+    if grad.shape[1:] == shape:
+        return grad
+    extra = grad.ndim - 1 - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(1, 1 + extra)))
+    axes = tuple(i + 1 for i, dim in enumerate(shape) if dim == 1 and grad.shape[i + 1] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape((grad.shape[0],) + shape)
+
+
 def as_tensor(value, requires_grad: bool = False) -> "Tensor":
     """Coerce ``value`` (scalar, ndarray or Tensor) to a :class:`Tensor`."""
     if isinstance(value, Tensor):
@@ -85,7 +107,7 @@ def as_tensor(value, requires_grad: bool = False) -> "Tensor":
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_grad_fn", "_prev", "_op", "_retains")
+    __slots__ = ("data", "grad", "requires_grad", "_grad_fn", "_prev", "_op", "_retains", "_ctx")
 
     __array_priority__ = 200  # ensure ndarray op Tensor dispatches here
 
@@ -97,6 +119,9 @@ class Tensor:
         self._prev: tuple[Tensor, ...] = ()
         self._op = ""
         self._retains = False
+        # Op-specific context the batched multi-root adjoints need but
+        # cannot recompute from node/parent data (e.g. a reduction axis).
+        self._ctx = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -284,6 +309,7 @@ class Tensor:
         out = self._make_child(self.data**exponent, (self,), "pow")
         if out.requires_grad:
             base = self
+            out._ctx = exponent
             out._grad_fn = lambda g: (g * exponent * base.data ** (exponent - 1),)
         return out
 
@@ -374,6 +400,7 @@ class Tensor:
         out = self._make_child(np.maximum(self.data, 0.0), (self,), "relu")
         if out.requires_grad:
             mask = self.data > 0
+            out._ctx = mask
             out._grad_fn = lambda g: (g * mask,)
         return out
 
@@ -383,6 +410,7 @@ class Tensor:
         out = self._make_child(value, (self,), "leaky_relu")
         if out.requires_grad:
             scale = np.where(self.data > 0, 1.0, negative_slope)
+            out._ctx = scale
             out._grad_fn = lambda g: (g * scale,)
         return out
 
@@ -399,6 +427,7 @@ class Tensor:
         out = self._make_child(np.clip(self.data, low, high), (self,), "clip")
         if out.requires_grad:
             mask = (self.data >= low) & (self.data <= high)
+            out._ctx = mask
             out._grad_fn = lambda g: (g * mask,)
         return out
 
@@ -410,6 +439,7 @@ class Tensor:
         out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
         if out.requires_grad:
             src_shape = self.data.shape
+            out._ctx = (axis, keepdims)
 
             def grad_fn(g: np.ndarray) -> tuple:
                 if axis is not None and not keepdims:
@@ -440,6 +470,7 @@ class Tensor:
             value_keep = self.data.max(axis=axis, keepdims=True)
             mask = src == value_keep
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            out._ctx = (axis, keepdims, mask, counts)
 
             def grad_fn(g: np.ndarray) -> tuple:
                 gg = g
@@ -483,7 +514,8 @@ class Tensor:
             axes = tuple(axes[0])
         out = self._make_child(self.data.transpose(axes), (self,), "transpose")
         if out.requires_grad:
-            inverse = tuple(np.argsort(axes))
+            inverse = tuple(int(a) for a in np.argsort(axes))
+            out._ctx = inverse
             out._grad_fn = lambda g: (g.transpose(inverse),)
         return out
 
@@ -495,6 +527,7 @@ class Tensor:
         out = self._make_child(self.data[index], (self,), "getitem")
         if out.requires_grad:
             src_shape = self.data.shape
+            out._ctx = index
 
             def grad_fn(g: np.ndarray) -> tuple:
                 grad = np.zeros(src_shape, dtype=np.float64)
@@ -521,6 +554,405 @@ class Tensor:
 
 
 # ----------------------------------------------------------------------
+# Multi-root backward: batched adjoints
+# ----------------------------------------------------------------------
+# Each adjoint maps (node, g) -> per-parent gradients, where g carries a
+# leading *root axis*: shape (R, *node.shape) with one row per backward
+# root reaching the node.  Returned arrays keep the leading axis, shaped
+# (R, *parent.shape) (or None for a constant parent).  This is what lets
+# backward_multi run ONE numpy call per node instead of one per root.
+def _adj_add(node, g):
+    a, b = node._prev
+    return unbroadcast_lead(g, a.data.shape), unbroadcast_lead(g, b.data.shape)
+
+
+def _adj_sub(node, g):
+    a, b = node._prev
+    return unbroadcast_lead(g, a.data.shape), unbroadcast_lead(-g, b.data.shape)
+
+
+def _adj_neg(node, g):
+    return (-g,)
+
+
+def _adj_mul(node, g):
+    a, b = node._prev
+    return (
+        unbroadcast_lead(g * b.data, a.data.shape),
+        unbroadcast_lead(g * a.data, b.data.shape),
+    )
+
+
+def _adj_div(node, g):
+    a, b = node._prev
+    return (
+        unbroadcast_lead(g / b.data, a.data.shape),
+        unbroadcast_lead(-g * a.data / (b.data**2), b.data.shape),
+    )
+
+
+def _adj_pow(node, g):
+    exponent = node._ctx
+    base = node._prev[0].data
+    return (g * exponent * base ** (exponent - 1),)
+
+
+def _adj_exp(node, g):
+    return (g * node.data,)
+
+
+def _adj_log(node, g):
+    return (g / node._prev[0].data,)
+
+
+def _adj_tanh(node, g):
+    return (g * (1.0 - node.data**2),)
+
+
+def _adj_sigmoid(node, g):
+    return (g * node.data * (1.0 - node.data),)
+
+
+def _adj_relu(node, g):
+    return (g * (node._prev[0].data > 0),)
+
+
+def _adj_leaky_relu(node, g):
+    return (g * node._ctx,)
+
+
+def _adj_abs(node, g):
+    return (g * np.sign(node._prev[0].data),)
+
+
+def _adj_clip(node, g):
+    return (g * node._ctx,)
+
+
+def _adj_matmul(node, g):
+    a, b = node._prev
+    ad, bd = a.data, b.data
+    grad_a = grad_b = None
+    if ad.ndim == 2 and bd.ndim == 2:
+        # Fast path for Linear layers: collapse the root axis into one big
+        # GEMM instead of numpy's per-root batched-matmul loop.
+        num_roots = g.shape[0]
+        flat = np.ascontiguousarray(g).reshape(-1, g.shape[-1])  # (R*B, M)
+        if a.requires_grad:
+            grad_a = (flat @ bd.T).reshape(num_roots, *ad.shape)
+        if b.requires_grad:
+            # ad.T (N, B) @ g as (B, R*M) -> (N, R, M) -> (R, N, M)
+            swapped = g.transpose(1, 0, 2).reshape(ad.shape[0], -1)
+            grad_b = (ad.T @ swapped).reshape(bd.shape[0], num_roots, bd.shape[1])
+            grad_b = grad_b.transpose(1, 0, 2)
+        return grad_a, grad_b
+    if a.requires_grad:
+        if bd.ndim == 1:
+            grad_a = g[..., None] * bd
+        elif ad.ndim == 1:
+            grad_a = g @ np.swapaxes(bd, -1, -2)
+            if grad_a.ndim > 2:
+                grad_a = grad_a.sum(axis=tuple(range(1, grad_a.ndim - 1)))
+        else:
+            grad_a = g @ np.swapaxes(bd, -1, -2)
+            if grad_a.shape[1:] != ad.shape:
+                grad_a = unbroadcast_lead(grad_a, ad.shape)
+    if b.requires_grad:
+        if ad.ndim == 1 and bd.ndim == 1:
+            grad_b = g[..., None] * ad
+        elif ad.ndim == 1:
+            if bd.ndim != 2:
+                raise NotImplementedError("1D @ nD (n>2) backward unsupported")
+            grad_b = ad[None, :, None] * g[:, None, :]
+        elif bd.ndim == 1:
+            grad_b = (np.swapaxes(ad, -1, -2) @ g[..., None])[..., 0]
+            if grad_b.ndim > 2:
+                grad_b = grad_b.sum(axis=tuple(range(1, grad_b.ndim - 1)))
+        else:
+            grad_b = np.swapaxes(ad, -1, -2) @ g
+            if grad_b.shape[1:] != bd.shape:
+                grad_b = unbroadcast_lead(grad_b, bd.shape)
+    return grad_a, grad_b
+
+
+def _lead_keepdims(g, axis, src_ndim):
+    """Reshape ``(R, *reduced)`` to ``(R, *keepdims-shape)`` for ``axis``."""
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    axes = tuple(a % src_ndim for a in axes)
+    shape = [g.shape[0]]
+    pos = 1
+    for i in range(src_ndim):
+        if i in axes:
+            shape.append(1)
+        else:
+            shape.append(g.shape[pos])
+            pos += 1
+    return g.reshape(shape), axes
+
+
+def _adj_sum(node, g):
+    axis, keepdims = node._ctx
+    src_shape = node._prev[0].data.shape
+    if not keepdims:
+        if axis is None:
+            g = g.reshape((g.shape[0],) + (1,) * len(src_shape))
+        else:
+            g, _ = _lead_keepdims(g, axis, len(src_shape))
+    return (np.broadcast_to(g, (g.shape[0],) + src_shape).copy(),)
+
+
+def _adj_max(node, g):
+    axis, keepdims, mask, counts = node._ctx
+    src_shape = node._prev[0].data.shape
+    if not keepdims:
+        if axis is None:
+            g = g.reshape((g.shape[0],) + (1,) * len(src_shape))
+        else:
+            g, _ = _lead_keepdims(g, axis, len(src_shape))
+    return (np.broadcast_to(g, (g.shape[0],) + src_shape) * mask / counts,)
+
+
+def _adj_reshape(node, g):
+    return (g.reshape((g.shape[0],) + node._prev[0].data.shape),)
+
+
+def _adj_transpose(node, g):
+    inverse = node._ctx
+    return (g.transpose((0,) + tuple(a + 1 for a in inverse)),)
+
+
+def _adj_getitem(node, g):
+    index = node._ctx
+    src_shape = node._prev[0].data.shape
+    grad = np.zeros((g.shape[0],) + src_shape, dtype=np.float64)
+    full_index = (slice(None),) + (index if isinstance(index, tuple) else (index,))
+    np.add.at(grad, full_index, g)
+    return (grad,)
+
+
+def _adj_concat(node, g):
+    axis, offsets = node._ctx
+    ndim = g.ndim
+    grads = []
+    for start, stop in zip(offsets[:-1], offsets[1:]):
+        slicer: list = [slice(None)] * ndim
+        slicer[axis + 1] = slice(int(start), int(stop))
+        grads.append(g[tuple(slicer)])
+    return tuple(grads)
+
+
+def _adj_stack(node, g):
+    axis, n = node._ctx
+    return tuple(np.squeeze(piece, axis=axis + 1) for piece in np.split(g, n, axis=axis + 1))
+
+
+def _adj_where(node, g):
+    condition = node._ctx
+    a, b = node._prev
+    return (
+        unbroadcast_lead(g * condition, a.data.shape),
+        unbroadcast_lead(g * (~condition), b.data.shape),
+    )
+
+
+#: op name -> batched adjoint.  Ops missing here (custom grad_fns from
+#: other modules) fall back to one ``grad_fn`` call per root — still
+#: correct, just not batched.
+_MULTI_ADJOINTS: dict[str, Callable] = {
+    "add": _adj_add,
+    "sub": _adj_sub,
+    "neg": _adj_neg,
+    "mul": _adj_mul,
+    "div": _adj_div,
+    "pow": _adj_pow,
+    "exp": _adj_exp,
+    "log": _adj_log,
+    "tanh": _adj_tanh,
+    "sigmoid": _adj_sigmoid,
+    "relu": _adj_relu,
+    "leaky_relu": _adj_leaky_relu,
+    "abs": _adj_abs,
+    "clip": _adj_clip,
+    "matmul": _adj_matmul,
+    "sum": _adj_sum,
+    "max": _adj_max,
+    "reshape": _adj_reshape,
+    "transpose": _adj_transpose,
+    "getitem": _adj_getitem,
+    "concat": _adj_concat,
+    "stack": _adj_stack,
+    "where": _adj_where,
+}
+
+
+def register_multi_adjoint(op: str, adjoint: Callable) -> None:
+    """Register a batched adjoint for a custom op (see ``_MULTI_ADJOINTS``).
+
+    ``adjoint(node, g)`` receives the output tensor and a gradient with a
+    leading root axis ``(R, *node.shape)`` and must return one array per
+    parent, each keeping the leading axis.  Modules defining their own
+    ``grad_fn`` (e.g. ``pad2d`` in :mod:`repro.nn.conv`) register here so
+    multi-root backward stays batched through them.
+    """
+    _MULTI_ADJOINTS[op] = adjoint
+
+
+# ----------------------------------------------------------------------
+# Multi-root backward
+# ----------------------------------------------------------------------
+def backward_multi(
+    roots: Sequence[Tensor],
+    grads: Sequence[np.ndarray | None] | None = None,
+    per_root: Sequence[Tensor] = (),
+) -> list[list[np.ndarray | None]]:
+    """Backpropagate from several roots in ONE walk over their union graph.
+
+    Equivalent to calling ``root.backward()`` once per root (K topological
+    sorts, K traversals, and K numpy calls per shared node) but performs a
+    single topological sort and a single traversal where every node carries
+    a ``(R, ...)``-leading-axis gradient buffer — one row per root that
+    reaches the node — and each op's batched adjoint runs ONCE over all
+    rows.  Per-root sparsity is automatic: nodes private to one task's loss
+    (a task head's subgraph) only ever carry and propagate that root's row,
+    while shared-trunk nodes carry one row per task.
+
+    Parameters
+    ----------
+    roots:
+        The K root tensors (e.g. per-task losses); each must require grad.
+    grads:
+        Optional seed gradients, one per root (``None`` entries mean ones,
+        like :meth:`Tensor.backward`).
+    per_root:
+        Tensors whose gradients must be kept *separated by root* instead of
+        summed.  Their ``.grad`` buffers are left untouched; the separated
+        gradients are returned instead.
+
+    Returns
+    -------
+    A list parallel to ``per_root``: entry ``i`` is a K-slot list where slot
+    ``k`` holds d(roots[k])/d(per_root[i]) — or ``None`` when root ``k``'s
+    graph never reaches that tensor (a zero gradient).
+
+    Every other leaf (and ``retain_grad`` tensor) accumulates the *sum over
+    roots* into ``.grad``, exactly as K sequential backward calls would.
+    """
+    roots = list(roots)
+    if not roots:
+        raise ValueError("backward_multi needs at least one root")
+    for root in roots:
+        if not root.requires_grad:
+            raise RuntimeError("called backward_multi() on a tensor that does not require grad")
+    if grads is None:
+        seed_list: list[np.ndarray | None] = [None] * len(roots)
+    else:
+        seed_list = list(grads)
+        if len(seed_list) != len(roots):
+            raise ValueError(f"got {len(seed_list)} seed grads for {len(roots)} roots")
+    seeds: list[np.ndarray] = []
+    for root, seed in zip(roots, seed_list):
+        if seed is None:
+            seeds.append(np.ones_like(root.data))
+        else:
+            seed = np.asarray(seed, dtype=np.float64)
+            if seed.shape != root.data.shape:
+                raise ValueError(
+                    f"grad shape {seed.shape} does not match tensor shape {root.data.shape}"
+                )
+            seeds.append(seed.copy())
+
+    # One topological sort over the union graph of all roots.  The DFS is
+    # identical to Tensor.backward's except every root is pushed up front;
+    # the visited set merges the K subgraphs into one ordering.
+    topo: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False) for root in reversed(roots)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._prev:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+
+    # Per-node gradient buffer: either ``(ids, stack)`` — ids a sorted
+    # tuple of root indices, stack of shape (len(ids), *node.shape) — or a
+    # plain {root: grad} dict while contributions with differing root sets
+    # are still merging.  Buffers are never mutated in place, so adjoint
+    # outputs that alias each other (e.g. ``x + x``) stay correct.
+    buffers: dict[int, object] = {}
+
+    def _merge(parent: Tensor, ids: tuple[int, ...], stack_arr: np.ndarray) -> None:
+        key = id(parent)
+        existing = buffers.get(key)
+        if existing is None:
+            buffers[key] = (ids, stack_arr)
+        elif type(existing) is tuple and existing[0] == ids:
+            buffers[key] = (ids, existing[1] + stack_arr)
+        else:
+            if type(existing) is tuple:
+                merged = dict(zip(existing[0], existing[1]))
+            else:
+                merged = existing
+            for position, k in enumerate(ids):
+                row = stack_arr[position]
+                merged[k] = merged[k] + row if k in merged else row
+            buffers[key] = merged
+
+    for k, (root, seed) in enumerate(zip(roots, seeds)):
+        _merge(root, (k,), seed[None])
+
+    separated: dict[int, list[np.ndarray | None]] = {
+        id(t): [None] * len(roots) for t in per_root
+    }
+
+    for node in reversed(topo):
+        buffer = buffers.pop(id(node), None)
+        if buffer is None:
+            continue
+        if type(buffer) is tuple:
+            ids, grad_stack = buffer
+        else:
+            ids = tuple(sorted(buffer))
+            grad_stack = (
+                buffer[ids[0]][None] if len(ids) == 1 else np.stack([buffer[i] for i in ids])
+            )
+        out_slots = separated.get(id(node))
+        if out_slots is not None:
+            for position, k in enumerate(ids):
+                row = grad_stack[position]
+                out_slots[k] = row if out_slots[k] is None else out_slots[k] + row
+        elif node._grad_fn is None or node._retains:
+            node._accumulate(grad_stack[0] if len(ids) == 1 else grad_stack.sum(axis=0))
+        grad_fn = node._grad_fn
+        if grad_fn is None:
+            continue
+        prev = node._prev
+        adjoint = _MULTI_ADJOINTS.get(node._op)
+        if adjoint is not None and len(ids) > 1:
+            parent_stacks = adjoint(node, grad_stack)
+            for parent, parent_stack in zip(prev, parent_stacks):
+                if parent_stack is None or not parent.requires_grad:
+                    continue
+                _merge(parent, ids, parent_stack)
+        else:
+            # Single active root, or an op without a batched adjoint: call
+            # the reference grad_fn once per row.
+            for position, k in enumerate(ids):
+                parent_grads = grad_fn(grad_stack[position])
+                for parent, parent_grad in zip(prev, parent_grads):
+                    if parent_grad is None or not parent.requires_grad:
+                        continue
+                    _merge(parent, (k,), parent_grad[None])
+    return [separated[id(t)] for t in per_root]
+
+
+# ----------------------------------------------------------------------
 # Free functions operating on collections of tensors
 # ----------------------------------------------------------------------
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -532,6 +964,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         sizes = [t.data.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
         ndim = data.ndim
+        out._ctx = (axis % ndim, offsets)
 
         def grad_fn(g: np.ndarray) -> tuple:
             grads = []
@@ -552,6 +985,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     out = tensors[0]._make_child(data, tensors, "stack")
     if out.requires_grad:
         n = len(tensors)
+        out._ctx = (axis % data.ndim, n)
 
         def grad_fn(g: np.ndarray) -> tuple:
             return tuple(np.squeeze(piece, axis=axis) for piece in np.split(g, n, axis=axis))
@@ -568,6 +1002,7 @@ def where(condition: np.ndarray, a, b) -> Tensor:
     out = a._make_child(data, (a, b), "where")
     if out.requires_grad:
         a_shape, b_shape = a.data.shape, b.data.shape
+        out._ctx = condition
         out._grad_fn = lambda g: (
             unbroadcast(g * condition, a_shape),
             unbroadcast(g * (~condition), b_shape),

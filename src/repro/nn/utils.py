@@ -14,6 +14,7 @@ from .module import Parameter
 
 __all__ = [
     "grad_vector",
+    "grad_vector_from_slots",
     "set_grad_from_vector",
     "parameter_vector",
     "set_parameters_from_vector",
@@ -21,30 +22,77 @@ __all__ = [
 ]
 
 
-def grad_vector(parameters: Sequence[Parameter]) -> np.ndarray:
+def grad_vector(parameters: Sequence[Parameter], out: np.ndarray | None = None) -> np.ndarray:
     """Flatten the gradients of ``parameters`` into one vector.
 
     Parameters whose gradient is ``None`` contribute zeros, matching the
     LibMTL behaviour of treating unused shared parameters as zero-gradient.
+    ``out`` may supply a preallocated destination (e.g. one row of the
+    trainer's ``(K, d)`` workspace) — gradients are written straight into it
+    with no intermediate concatenation.
     """
-    pieces = []
+    total = sum(param.size for param in parameters)
+    if out is None:
+        out = np.empty(total)
+    elif out.shape != (total,):
+        raise ValueError(f"out has shape {out.shape}; expected ({total},)")
+    offset = 0
     for param in parameters:
-        if param.grad is None:
-            pieces.append(np.zeros(param.size))
+        size = param.size
+        grad = param.grad
+        if grad is None:
+            out[offset : offset + size] = 0.0
         else:
-            pieces.append(param.grad.reshape(-1).copy())
-    return np.concatenate(pieces) if pieces else np.zeros(0)
+            out[offset : offset + size] = grad.reshape(-1)
+        offset += size
+    return out
+
+
+def grad_vector_from_slots(
+    parameters: Sequence[Parameter],
+    slots: Sequence[Sequence[np.ndarray | None]],
+    root: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Flatten one root's per-parameter gradient slots into a vector.
+
+    ``slots`` is the structure :func:`repro.nn.tensor.backward_multi`
+    returns for ``per_root=parameters``: ``slots[i][root]`` is the gradient
+    of root ``root`` w.r.t. ``parameters[i]`` (``None`` meaning the root's
+    graph never reached that parameter — written as zeros, mirroring
+    :func:`grad_vector`).  Writes directly into ``out`` when given.
+    """
+    total = sum(param.size for param in parameters)
+    if out is None:
+        out = np.empty(total)
+    elif out.shape != (total,):
+        raise ValueError(f"out has shape {out.shape}; expected ({total},)")
+    offset = 0
+    for param, param_slots in zip(parameters, slots):
+        size = param.size
+        grad = param_slots[root]
+        if grad is None:
+            out[offset : offset + size] = 0.0
+        else:
+            out[offset : offset + size] = grad.reshape(-1)
+        offset += size
+    return out
 
 
 def set_grad_from_vector(parameters: Sequence[Parameter], vector: np.ndarray) -> None:
-    """Write a flat gradient vector back into ``param.grad`` buffers."""
+    """Write a flat gradient vector back into ``param.grad`` buffers.
+
+    The length check runs *before* any write, so a mismatched vector never
+    partially mutates the gradients.
+    """
+    total = sum(param.size for param in parameters)
+    if vector.size != total:
+        raise ValueError(f"vector length {vector.size} does not match parameters ({total})")
     offset = 0
     for param in parameters:
         size = param.size
         param.grad = vector[offset : offset + size].reshape(param.data.shape).copy()
         offset += size
-    if offset != vector.size:
-        raise ValueError(f"vector length {vector.size} does not match parameters ({offset})")
 
 
 def parameter_vector(parameters: Sequence[Parameter]) -> np.ndarray:

@@ -2,13 +2,24 @@
 
 Reproduces the LibMTL-style optimization loop the paper runs on:
 
-1. For each task, back-propagate that task's loss alone and read the
-   gradient over the *shared* parameters (one backward pass per task;
-   ``grad_source="params"``).
-2. Feed the ``(K, d)`` gradient matrix plus the loss values to the
-   gradient balancer (MoCoGrad or any baseline).
+1. Collect the per-task gradients over the *shared* parameters into a
+   ``(K, d)`` matrix (``grad_source="params"``).
+2. Feed the gradient matrix plus the loss values to the gradient balancer
+   (MoCoGrad or any baseline).
 3. Write the combined gradient back into the shared parameters, keep the
    task-specific gradients untouched, and take one optimizer step.
+
+Gradient collection (step 1) runs in one of two backward modes:
+
+- ``backward_mode="multi_root"`` (default) — ONE topological sort and ONE
+  traversal over the union graph of all K task losses
+  (:func:`repro.nn.tensor.backward_multi`), written straight into a
+  preallocated trainer-owned ``(K, d)`` workspace.  Numerically identical
+  to the per-task mode (same ``grad_fn`` calls, per-root gradient slots).
+- ``backward_mode="per_task"`` — the literal LibMTL loop: K full backward
+  passes per step, one per task loss.  Kept as the reference oracle; this
+  is the cost the paper's §VI-C / Fig. 8 identify as the bottleneck of
+  gradient-manipulation methods.
 
 The paper's §VI-C speedup — balancing *feature-level* gradients (w.r.t. the
 shared representation z) so the shared trunk is back-propagated only once —
@@ -25,6 +36,12 @@ Every step is traced with nested :mod:`repro.obs` spans::
     ├── balance               balancer.balance (conflict counters inside)
     ├── backward_shared       trunk backprop (grad_source="features" only)
     └── optimizer_step        parameter update
+
+In ``per_task`` mode each ``task_backward`` span wraps that task's full
+backward pass.  In ``multi_root`` mode the union-graph walk is not
+separable by task, so each ``task_backward`` span wraps one root's
+*accumulation* into the gradient workspace; the walk itself is the
+remainder of the enclosing ``backward`` span.
 
 plus ``train_steps_total`` / ``train_epochs_total`` counters and per-task
 ``train_loss`` gauges.  The legacy ``step_seconds`` list and
@@ -45,9 +62,9 @@ from ..core.balancer import GradientBalancer
 from ..data.base import MULTI_INPUT, SINGLE_INPUT, ArrayDataset, DataLoader, TaskSpec
 from ..nn.module import Parameter
 from ..nn.optim import SGD, Adam, Optimizer
-from ..nn.tensor import Tensor
-from ..nn.utils import grad_vector, set_grad_from_vector
-from ..obs import Telemetry, default_sinks
+from ..nn.tensor import Tensor, backward_multi
+from ..nn.utils import grad_vector, grad_vector_from_slots, set_grad_from_vector
+from ..obs import NULL_TELEMETRY, Telemetry, default_sinks
 from .history import History
 
 __all__ = ["MTLTrainer"]
@@ -77,6 +94,11 @@ class MTLTrainer:
         (one batch per task per step).
     grad_source:
         ``"params"`` (default) or ``"features"`` (HPS single-input only).
+    backward_mode:
+        ``"multi_root"`` (default: one union-graph walk collects all task
+        gradients) or ``"per_task"`` (the reference K-backward-passes
+        loop).  Both produce bit-comparable gradients; see the module
+        docstring.
     optimizer / lr:
         Optimizer name (adam, sgd, sgdm) and learning rate; the paper uses
         Adam at 1e-4 (recommendation/vision) or 3e-3 (QM9).
@@ -102,6 +124,7 @@ class MTLTrainer:
         balancer: GradientBalancer,
         mode: str = SINGLE_INPUT,
         grad_source: str = "params",
+        backward_mode: str = "multi_root",
         optimizer: str = "adam",
         lr: float = 1e-3,
         seed: int | None = None,
@@ -114,6 +137,8 @@ class MTLTrainer:
             raise ValueError("grad_source must be 'params' or 'features'")
         if grad_source == "features" and mode != SINGLE_INPUT:
             raise ValueError("feature-level gradients require single-input MTL")
+        if backward_mode not in ("multi_root", "per_task"):
+            raise ValueError("backward_mode must be 'multi_root' or 'per_task'")
         model_tasks = set(model.task_names)
         spec_tasks = {task.name for task in tasks}
         if model_tasks != spec_tasks:
@@ -123,6 +148,7 @@ class MTLTrainer:
         self.balancer = balancer
         self.mode = mode
         self.grad_source = grad_source
+        self.backward_mode = backward_mode
         self.optimizer = _make_optimizer(optimizer, model.parameters(), lr)
         self.rng = np.random.default_rng(seed)
         self.balancer.reset(len(self.tasks))
@@ -134,6 +160,48 @@ class MTLTrainer:
         self._step_labels = {"method": self.balancer.name, "mode": self.mode}
         #: per-step ``(mean_gcd, conflict_fraction)`` when tracking is on
         self.conflict_stats: list[tuple[float, float]] = []
+        # Preallocated (K, d) per-task gradient workspace, reused across
+        # steps (allocated lazily once d is known).  Balancers never retain
+        # the matrix, so reuse is safe; `task_gradients` hands out fresh
+        # matrices because its callers may keep them.
+        self._grad_workspace: np.ndarray | None = None
+
+    def _workspace(self, dim: int) -> np.ndarray:
+        """The trainer-owned ``(K, d)`` gradient matrix, reused per step."""
+        workspace = self._grad_workspace
+        if workspace is None or workspace.shape != (len(self.tasks), dim):
+            self._grad_workspace = workspace = np.empty((len(self.tasks), dim))
+        return workspace
+
+    def _collect_param_grads(
+        self,
+        loss_tensors: list[Tensor],
+        shared: list[Parameter],
+        grads: np.ndarray,
+        telemetry: Telemetry,
+    ) -> np.ndarray:
+        """Fill ``grads[k]`` with task k's shared-parameter gradient.
+
+        ``multi_root``: one union-graph walk (`backward_multi`) collects all
+        roots at once; each ``task_backward`` span then wraps that root's
+        accumulation into the workspace.  ``per_task``: the reference loop —
+        zero shared grads, backward task k's loss, flatten.  Both modes
+        accumulate task-specific (head) gradients into ``.grad`` as a side
+        effect, ready for the optimizer step.
+        """
+        if self.backward_mode == "multi_root":
+            slots = backward_multi(loss_tensors, per_root=shared)
+            for k, task in enumerate(self.tasks):
+                with telemetry.span("task_backward", task=task.name):
+                    grad_vector_from_slots(shared, slots, k, out=grads[k])
+        else:
+            for k, loss in enumerate(loss_tensors):
+                with telemetry.span("task_backward", task=self.tasks[k].name):
+                    for param in shared:
+                        param.zero_grad()
+                    loss.backward()
+                    grad_vector(shared, out=grads[k])
+        return grads
 
     # ------------------------------------------------------------------
     # Single optimization steps
@@ -156,14 +224,9 @@ class MTLTrainer:
                         for task in self.tasks
                     ]
                     losses = np.array([loss.item() for loss in loss_tensors])
-                grads = np.empty((len(self.tasks), sum(p.size for p in shared)))
+                grads = self._workspace(sum(p.size for p in shared))
                 with telemetry.span("backward"):
-                    for k, loss in enumerate(loss_tensors):
-                        with telemetry.span("task_backward", task=self.tasks[k].name):
-                            for param in shared:
-                                param.zero_grad()
-                            loss.backward()
-                            grads[k] = grad_vector(shared)
+                    self._collect_param_grads(loss_tensors, shared, grads, telemetry)
                 self._record_conflicts(grads)
                 with telemetry.span("balance", method=self.balancer.name):
                     combined = self.balancer.balance(grads, losses)
@@ -189,13 +252,23 @@ class MTLTrainer:
                 task.loss_fn(outputs[task.name], targets[task.name]) for task in self.tasks
             ]
             losses = np.array([loss.item() for loss in loss_tensors])
-        grads = np.empty((len(self.tasks), cut.size))
+        grads = self._workspace(cut.size)
         with telemetry.span("backward"):
-            for k, loss in enumerate(loss_tensors):
-                with telemetry.span("task_backward", task=self.tasks[k].name):
-                    cut.zero_grad()
-                    loss.backward()
-                    grads[k] = cut.grad.reshape(-1)
+            if self.backward_mode == "multi_root":
+                (cut_slots,) = backward_multi(loss_tensors, per_root=[cut])
+                for k, task in enumerate(self.tasks):
+                    with telemetry.span("task_backward", task=task.name):
+                        slot = cut_slots[k]
+                        if slot is None:
+                            grads[k] = 0.0
+                        else:
+                            grads[k] = slot.reshape(-1)
+            else:
+                for k, loss in enumerate(loss_tensors):
+                    with telemetry.span("task_backward", task=self.tasks[k].name):
+                        cut.zero_grad()
+                        loss.backward()
+                        grads[k] = cut.grad.reshape(-1)
         self._record_conflicts(grads)
         with telemetry.span("balance", method=self.balancer.name):
             combined = self.balancer.balance(grads, losses)
@@ -222,14 +295,9 @@ class MTLTrainer:
                     loss = task.loss_fn(output, targets)
                     loss_tensors.append(loss)
                     losses[k] = loss.item()
-            grads = np.empty((len(self.tasks), sum(p.size for p in shared)))
+            grads = self._workspace(sum(p.size for p in shared))
             with telemetry.span("backward"):
-                for k, loss in enumerate(loss_tensors):
-                    with telemetry.span("task_backward", task=self.tasks[k].name):
-                        for param in shared:
-                            param.zero_grad()
-                        loss.backward()
-                        grads[k] = grad_vector(shared)
+                self._collect_param_grads(loss_tensors, shared, grads, telemetry)
             self._record_conflicts(grads)
             with telemetry.span("balance", method=self.balancer.name):
                 combined = self.balancer.balance(grads, losses)
@@ -266,17 +334,22 @@ class MTLTrainer:
     # Gradient inspection (used by the TCI/GCD analysis)
     # ------------------------------------------------------------------
     def task_gradients(self, inputs, targets: Mapping[str, np.ndarray]) -> np.ndarray:
-        """Per-task shared-parameter gradients without updating anything."""
+        """Per-task shared-parameter gradients without updating anything.
+
+        Returns a fresh ``(K, d)`` matrix (not the trainer's step
+        workspace) — callers are free to keep it across calls.
+        """
         self.model.train()
         shared = self.model.shared_parameters()
         self.model.zero_grad()
         outputs = self.model.forward_all(inputs)
+        loss_tensors = [
+            task.loss_fn(outputs[task.name], targets[task.name]) for task in self.tasks
+        ]
         grads = np.empty((len(self.tasks), sum(p.size for p in shared)))
-        for k, task in enumerate(self.tasks):
-            for param in shared:
-                param.zero_grad()
-            task.loss_fn(outputs[task.name], targets[task.name]).backward()
-            grads[k] = grad_vector(shared)
+        # Inspection path: no step is running, so spans stay out of the
+        # step/backward accounting.
+        self._collect_param_grads(loss_tensors, shared, grads, NULL_TELEMETRY)
         self.model.zero_grad()
         return grads
 

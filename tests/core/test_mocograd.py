@@ -168,6 +168,24 @@ class TestStateManagement:
         with pytest.raises(ValueError):
             balancer.balance(np.ones((2, 4)), np.ones(3))
 
+    def test_momentum_shape_mismatch_raises_instead_of_silent_reset(self):
+        from repro.obs import Telemetry
+
+        balancer = MoCoGrad(seed=0)
+        balancer.telemetry = Telemetry()
+        balancer.calibrate(make_conflicting_grads())
+        momentum_before = balancer.momentum.copy()
+        with pytest.raises(ValueError, match="reset\\(\\)"):
+            balancer.calibrate(np.ones((2, 7)))
+        # Momentum history survives the rejected call untouched.
+        np.testing.assert_allclose(balancer.momentum, momentum_before)
+        counter = balancer.telemetry.counter("mocograd_momentum_shape_mismatch_total")
+        assert counter.value == 1
+        # reset() is the documented recovery path.
+        balancer.reset(2)
+        balancer.calibrate(np.ones((2, 7)))
+        assert balancer.momentum.shape == (2, 7)
+
     def test_deterministic_with_seed(self):
         rng = np.random.default_rng(7)
         grads = [rng.normal(size=(4, 20)) for _ in range(5)]

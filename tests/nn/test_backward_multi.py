@@ -1,0 +1,224 @@
+"""Tests for the multi-root backward kernel (`repro.nn.backward_multi`)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, backward_multi, concat, pad2d, stack, where
+from repro.nn.tensor import unbroadcast_lead
+from repro.nn.utils import grad_vector, grad_vector_from_slots, set_grad_from_vector
+
+from ..conftest import numerical_gradient
+
+
+def build_graph(x_data, w_data):
+    """A three-root graph exercising most primitive ops."""
+    x = Tensor(x_data.copy(), requires_grad=True)
+    w = Tensor(w_data.copy(), requires_grad=True)
+    h = (x @ w).tanh()
+    h = h.leaky_relu(0.1) + h.sigmoid() * 0.3 - (h.abs() + 1.0).log()
+    h = h.clip(-2.0, 2.0)
+    a = h.sum(axis=1)
+    b = h.max(axis=0)
+    c = h.reshape(-1)[::2].sum()
+    l1 = (a * a).mean() + h.exp().sum() * 1e-3
+    l2 = (b**2).sum() + c
+    l3 = h.transpose().sum() / 7.0 + (h / (h.abs() + 1.5)).sum()
+    return x, w, [l1, l2, l3]
+
+
+class TestEquivalenceWithSequentialBackward:
+    def test_per_root_slots_match_sequential(self, rng):
+        x_data = rng.normal(size=(5, 4))
+        w_data = rng.normal(size=(4, 6))
+        reference = []
+        for k in range(3):
+            x, w, losses = build_graph(x_data, w_data)
+            losses[k].backward()
+            reference.append((x.grad.copy(), w.grad.copy()))
+
+        x, w, losses = build_graph(x_data, w_data)
+        slots = backward_multi(losses, per_root=[x, w])
+        for k in range(3):
+            for i in range(2):
+                np.testing.assert_allclose(slots[i][k], reference[k][i], atol=1e-12, rtol=0)
+
+    def test_leaf_grad_accumulates_sum_over_roots(self, rng):
+        x_data = rng.normal(size=(5, 4))
+        w_data = rng.normal(size=(4, 6))
+        reference = []
+        for k in range(3):
+            x, w, losses = build_graph(x_data, w_data)
+            losses[k].backward()
+            reference.append((x.grad.copy(), w.grad.copy()))
+
+        x, w, losses = build_graph(x_data, w_data)
+        backward_multi(losses)
+        np.testing.assert_allclose(x.grad, sum(r[0] for r in reference), atol=1e-12, rtol=0)
+        np.testing.assert_allclose(w.grad, sum(r[1] for r in reference), atol=1e-12, rtol=0)
+
+    def test_collection_ops(self, rng):
+        def build():
+            gen = np.random.default_rng(7)
+            a = Tensor(gen.normal(size=(3, 4)), requires_grad=True)
+            b = Tensor(gen.normal(size=(3, 4)), requires_grad=True)
+            cat = concat([a, b], axis=1)
+            st = stack([a.sum(axis=1), b.sum(axis=1)], axis=0)
+            wh = where(a.data > 0, a, b)
+            gathered = cat[:, np.array([0, 2, 1, 0])]
+            l1 = (cat * cat).sum() + st.sum()
+            l2 = wh.sum() * 2.0 + gathered.sum()
+            return a, b, [l1, l2]
+
+        reference = []
+        for k in range(2):
+            a, b, losses = build()
+            losses[k].backward()
+            reference.append((a.grad.copy(), b.grad.copy()))
+        a, b, losses = build()
+        slots = backward_multi(losses, per_root=[a, b])
+        for k in range(2):
+            for i in range(2):
+                np.testing.assert_allclose(slots[i][k], reference[k][i], atol=1e-12, rtol=0)
+
+    def test_pad2d_batched_adjoint(self, rng):
+        def build():
+            gen = np.random.default_rng(11)
+            img = Tensor(gen.normal(size=(2, 3, 4, 4)), requires_grad=True)
+            padded = pad2d(img, 1)
+            l1 = (padded * padded).sum()
+            l2 = padded.sum() * 0.5
+            return img, [l1, l2]
+
+        reference = []
+        for k in range(2):
+            img, losses = build()
+            losses[k].backward()
+            reference.append(img.grad.copy())
+        img, losses = build()
+        slots = backward_multi(losses, per_root=[img])
+        for k in range(2):
+            np.testing.assert_allclose(slots[0][k], reference[k], atol=1e-12, rtol=0)
+
+    def test_seed_gradients(self, rng):
+        x_data = rng.normal(size=(4, 3))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        l1 = (x * x).sum()
+        l2 = x.sum()
+        slots = backward_multi([l1, l2], grads=[np.array(2.0), np.array(-1.0)], per_root=[x])
+        np.testing.assert_allclose(slots[0][0], 2.0 * 2.0 * x_data, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(slots[0][1], -np.ones_like(x_data), atol=1e-12, rtol=0)
+
+    def test_aliasing_safe_self_add(self, rng):
+        # x + x routes the SAME upstream buffer to both parents; the walk
+        # must not corrupt it via in-place accumulation.
+        x_data = rng.normal(size=(3, 3))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        y = x + x
+        l1 = (y * y).sum()
+        l2 = y.sum()
+        slots = backward_multi([l1, l2], per_root=[x])
+        np.testing.assert_allclose(slots[0][0], 8.0 * x_data, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(slots[0][1], 2.0 * np.ones_like(x_data), atol=1e-12, rtol=0)
+
+
+class TestFiniteDifference:
+    def test_multi_root_matches_numerical_gradient(self, rng):
+        x0 = rng.normal(size=(3, 4))
+
+        def f1(t):
+            return (t.tanh() * t).sum()
+
+        def f2(t):
+            return (t @ t.T).sum() * 0.1
+
+        x = Tensor(x0.copy(), requires_grad=True)
+        slots = backward_multi([f1(x), f2(x)], per_root=[x])
+        np.testing.assert_allclose(slots[0][0], numerical_gradient(f1, x0), atol=1e-5, rtol=0)
+        np.testing.assert_allclose(slots[0][1], numerical_gradient(f2, x0), atol=1e-5, rtol=0)
+
+
+class TestPerRootSparsity:
+    def test_unreached_root_slot_is_none(self, rng):
+        # Two disjoint subgraphs: each root reaches only its own leaf.
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        la = (a * a).sum()
+        lb = b.sum()
+        slots = backward_multi([la, lb], per_root=[a, b])
+        assert slots[0][1] is None
+        assert slots[1][0] is None
+        np.testing.assert_allclose(slots[0][0], 2.0 * a.data, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(slots[1][1], np.ones(3), atol=1e-12, rtol=0)
+
+    def test_per_root_tensors_keep_grad_untouched(self, rng):
+        x = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        losses = [(x * x).sum(), x.sum()]
+        backward_multi(losses, per_root=[x])
+        assert x.grad is None
+
+
+class TestErrors:
+    def test_empty_roots_rejected(self):
+        with pytest.raises(ValueError, match="at least one root"):
+            backward_multi([])
+
+    def test_non_grad_root_rejected(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            backward_multi([x])
+
+    def test_seed_count_mismatch_rejected(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        loss = x.sum()
+        with pytest.raises(ValueError, match="seed grads"):
+            backward_multi([loss], grads=[None, None])
+
+    def test_seed_shape_mismatch_rejected(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        loss = x.sum()
+        with pytest.raises(ValueError, match="grad shape"):
+            backward_multi([loss], grads=[np.ones(2)])
+
+
+class TestUnbroadcastLead:
+    def test_reduces_broadcast_axes_preserving_root_axis(self, rng):
+        grad = rng.normal(size=(4, 2, 3, 5))
+        reduced = unbroadcast_lead(grad, (3, 5))
+        np.testing.assert_allclose(reduced, grad.sum(axis=1), atol=1e-12, rtol=0)
+        kept = unbroadcast_lead(grad, (1, 3, 5))
+        np.testing.assert_allclose(kept, grad.sum(axis=1, keepdims=True), atol=1e-12, rtol=0)
+
+    def test_noop_when_shapes_match(self, rng):
+        grad = rng.normal(size=(2, 3))
+        assert unbroadcast_lead(grad, (3,)) is grad
+
+
+class TestVectorUtilities:
+    def _params(self, rng):
+        from repro.nn import Parameter
+
+        return [Parameter(rng.normal(size=(2, 3))), Parameter(rng.normal(size=4))]
+
+    def test_grad_vector_out_validates_shape(self, rng):
+        params = self._params(rng)
+        with pytest.raises(ValueError, match="expected"):
+            grad_vector(params, out=np.empty(5))
+
+    def test_grad_vector_from_slots_writes_zeros_for_none(self, rng):
+        params = self._params(rng)
+        slots = [[rng.normal(size=(2, 3))], [None]]
+        vec = grad_vector_from_slots(params, slots, 0)
+        np.testing.assert_allclose(vec[:6], slots[0][0].reshape(-1), atol=0, rtol=0)
+        np.testing.assert_allclose(vec[6:], 0.0, atol=0, rtol=0)
+
+    @pytest.mark.parametrize("bad_size", [9, 11])
+    def test_set_grad_from_vector_no_partial_mutation(self, rng, bad_size):
+        # Total size is 10; both a short and a long vector must fail
+        # BEFORE any grad is written.
+        params = self._params(rng)
+        params[0].grad = np.full((2, 3), 7.0)
+        params[1].grad = None
+        with pytest.raises(ValueError, match="does not match"):
+            set_grad_from_vector(params, np.zeros(bad_size))
+        np.testing.assert_allclose(params[0].grad, 7.0, atol=0, rtol=0)
+        assert params[1].grad is None

@@ -89,6 +89,28 @@ class TestInversePower:
             InversePower(make_opt(), power=0.0)
 
 
+class TestBuiltinFloatContract:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda opt: StepDecay(opt, period=2, gamma=0.5),
+            lambda opt: CosineAnnealing(opt, total_steps=5, min_lr=0.1),
+            lambda opt: InversePower(opt, power=0.7),
+            lambda opt: InverseSqrt(opt),
+        ],
+        ids=["step_decay", "cosine", "inverse_power", "inverse_sqrt"],
+    )
+    def test_lr_is_builtin_float_after_stepping(self, factory):
+        # np.float64 leaking into optimizer.lr ends up in telemetry JSONL,
+        # where it is not JSON-serializable.
+        opt = make_opt()
+        sched = factory(opt)
+        for _ in range(3):
+            returned = sched.step()
+            assert type(returned) is float
+            assert type(opt.lr) is float
+
+
 class TestMoCoGradCalibrationDecay:
     def test_lambda_decays_per_corollary1(self):
         from repro.core import MoCoGrad

@@ -140,6 +140,21 @@ class TestTimingViews:
         assert history is trainer.conflict_stats
         assert len(history) == trainer.step_count
 
+    def test_deprecated_accessors_warn_exactly_once_per_access(self, rng):
+        import warnings
+
+        dataset, tasks = make_problem(rng)
+        model = make_model(rng, tasks)
+        trainer = MTLTrainer(model, tasks, EqualWeighting(), seed=0, track_conflicts=True)
+        trainer.fit(dataset, epochs=1, batch_size=8)
+        for attribute in ("step_seconds", "backward_seconds_total", "conflict_history"):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                getattr(trainer, attribute)
+            deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1, attribute
+            assert attribute in str(deprecations[0].message)
+
     def test_disabled_telemetry_trains_identically(self, rng):
         dataset, tasks = make_problem(rng)
         finals = []
