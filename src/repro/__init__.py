@@ -23,6 +23,7 @@ Quick start::
 from . import analysis, arch, balancers, core, data, experiments, metrics, nn, obs, training
 from .core import (
     GradientBalancer,
+    GradStats,
     MoCoGrad,
     available_balancers,
     create_balancer,
@@ -46,6 +47,7 @@ __all__ = [
     "experiments",
     "obs",
     "MoCoGrad",
+    "GradStats",
     "GradientBalancer",
     "create_balancer",
     "available_balancers",

@@ -9,7 +9,10 @@ Its dual reduces to a problem over simplex weights w (g_w = Σ w_k g_k):
 
     min_w  ⟨g_w, g₀⟩ + √φ · ‖g_w‖,   φ = c²‖g₀‖²,
 
-solved here with SLSQP over the simplex using the Gram matrix.  The final
+solved here with SLSQP over the simplex using the Gram matrix — read from
+the shared per-step :class:`~repro.core.gradstats.GradStats` cache rather
+than recomputed, so the same GEMM feeds the base class's conflict
+telemetry and this solve.  The final
 update is  d = g₀ + (√φ / ‖g_w‖) · g_w,  optionally rescaled by 1/(1+c²)
 as in the reference implementation.
 """
@@ -50,7 +53,7 @@ class CAGrad(GradientBalancer):
         grads, _ = self._check_inputs(grads, losses)
         num_tasks = grads.shape[0]
         average = grads.mean(axis=0)
-        gram = grads @ grads.T
+        gram = self.gradstats.gram
         avg_dot = gram.mean(axis=0)  # ⟨g_k, g₀⟩ for each k
         phi = self.c**2 * float(average @ average)
         sqrt_phi = np.sqrt(max(phi, 0.0))

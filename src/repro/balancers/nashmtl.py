@@ -99,7 +99,9 @@ class NashMTL(GradientBalancer):
             or self._step % self.update_weights_every == 0
         )
         if needs_solve:
-            gram = grads @ grads.T
+            # Shared per-step cache: the same GEMM the conflict telemetry
+            # and other pairwise consumers read.
+            gram = self.gradstats.gram
             if float(np.trace(gram)) < _EPS:
                 self._alpha = np.ones(num_tasks)
             else:

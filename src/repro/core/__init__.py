@@ -3,6 +3,8 @@
 - :class:`~repro.core.mocograd.MoCoGrad`: the momentum-calibrated
   conflicting-gradient balancer (Algorithm 1).
 - :mod:`~repro.core.conflict`: GCD / TCI diagnostics (Definitions 2–3).
+- :mod:`~repro.core.gradstats`: the shared per-step pairwise-geometry
+  cache (Gram, norms, cosines, conflict mask) behind the balancer kernels.
 - :mod:`~repro.core.theory`: executable forms of Theorems 1–3.
 - :mod:`~repro.core.balancer`: the balancer API and registry shared with
   all baselines in :mod:`repro.balancers`.
@@ -23,6 +25,7 @@ from .conflict import (
     task_conflict_intensity,
     tci_profile,
 )
+from .gradstats import GradStats
 from .mocograd import MoCoGrad
 from .theory import (
     calibrated_gradient_bound,
@@ -40,6 +43,7 @@ __all__ = [
     "create_balancer",
     "available_balancers",
     "MoCoGrad",
+    "GradStats",
     "cosine_similarity",
     "gradient_conflict_degree",
     "is_conflicting",

@@ -1,0 +1,175 @@
+"""Shared per-step cache of pairwise gradient geometry.
+
+Every conflict-aware balancer and every pairwise diagnostic needs the same
+handful of products of the ``(K, d)`` per-task gradient matrix: the K×K
+Gram matrix, per-task norms, pairwise cosines / GCD (Definition 3), and
+the boolean conflict mask of Algorithm 1's line-9 test.  Before this
+module each consumer recomputed them independently — the base class's
+conflict telemetry ran one GEMM, CAGrad another, and MoCoGrad / PCGrad /
+GradVac issued up to three ``d``-length BLAS-1 calls *per task pair* from
+Python loops.
+
+:class:`GradStats` computes each product **lazily, at most once** per
+step: the Gram matrix is one GEMM, and everything pairwise derives from
+it (or from the O(K·d) row-norm reduction) in O(K²).
+:meth:`repro.core.balancer.GradientBalancer._check_inputs` constructs one
+instance per :meth:`balance` call and exposes it as
+:attr:`~repro.core.balancer.GradientBalancer.gradstats`, so the base
+class's telemetry and the balancer's own kernel read the same numbers.
+
+Laziness matters for the "telemetry disabled + geometry-free balancer"
+case (e.g. equal weighting): constructing a :class:`GradStats` is O(1),
+and if nobody reads :attr:`gram` the GEMM never runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GradStats", "gram_matrix"]
+
+_EPS = 1e-12
+
+
+def gram_matrix(grads: np.ndarray) -> np.ndarray:
+    """The K×K Gram matrix ``G Gᵀ`` of a ``(K, d)`` gradient matrix.
+
+    Kept as a module-level function (rather than inlined in
+    :class:`GradStats`) so tests can wrap it to count GEMMs.
+    """
+    return grads @ grads.T
+
+
+class GradStats:
+    """Lazily-computed pairwise statistics over a ``(K, d)`` gradient matrix.
+
+    The input array is referenced, not copied — callers must not mutate it
+    while the cache is alive (balancers never do: the cache lives for one
+    ``balance()`` call).
+
+    Parameters
+    ----------
+    grads:
+        ``(K, d)`` float64 matrix of per-task gradients.
+    eps:
+        Norm threshold below which a task gradient counts as zero; zero
+        gradients have cosine 0 to everything (neither conflicting nor
+        aligned), matching :func:`repro.core.conflict.cosine_similarity`.
+    """
+
+    def __init__(self, grads: np.ndarray, eps: float = _EPS) -> None:
+        grads = np.asarray(grads, dtype=np.float64)
+        if grads.ndim != 2:
+            raise ValueError(f"grads must be (K, d); got shape {grads.shape}")
+        self.grads = grads
+        self.eps = eps
+        self._gram: np.ndarray | None = None
+        self._norms_sq: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+        self._nonzero: np.ndarray | None = None
+        self._cosine: np.ndarray | None = None
+        self._conflict_mask: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return self.grads.shape[0]
+
+    @property
+    def gram(self) -> np.ndarray:
+        """``grads @ grads.T`` — the one GEMM everything pairwise shares."""
+        if self._gram is None:
+            self._gram = gram_matrix(self.grads)
+        return self._gram
+
+    @property
+    def norms_sq(self) -> np.ndarray:
+        """Per-task squared gradient norms ``‖g_k‖²`` (``(K,)``).
+
+        Computed by an O(K·d) row reduction rather than from the Gram
+        diagonal, so reading norms never forces the GEMM (and the values
+        do not depend on property-access order).
+        """
+        if self._norms_sq is None:
+            self._norms_sq = np.einsum("kd,kd->k", self.grads, self.grads)
+        return self._norms_sq
+
+    @property
+    def norms(self) -> np.ndarray:
+        """Per-task gradient norms ``‖g_k‖`` (``(K,)``)."""
+        if self._norms is None:
+            self._norms = np.sqrt(self.norms_sq)
+        return self._norms
+
+    @property
+    def nonzero(self) -> np.ndarray:
+        """Boolean ``(K,)`` mask of tasks with ``‖g_k‖ ≥ eps``."""
+        if self._nonzero is None:
+            self._nonzero = self.norms >= self.eps
+        return self._nonzero
+
+    @property
+    def cosine(self) -> np.ndarray:
+        """Pairwise cosine matrix, clamped to [-1, 1].
+
+        Rows/columns of (numerically) zero gradients are 0, the diagonal
+        is exactly 1 — so ``1 - cosine`` (the GCD matrix) can never leave
+        Definition 3's [0, 2] range, even under floating-point drift in
+        the underlying GEMM.
+        """
+        if self._cosine is None:
+            norms = self.norms
+            safe = np.where(self.nonzero, norms, 1.0)
+            cos = self.gram / np.outer(safe, safe)
+            dead = ~self.nonzero
+            cos[dead, :] = 0.0
+            cos[:, dead] = 0.0
+            np.clip(cos, -1.0, 1.0, out=cos)
+            np.fill_diagonal(cos, 1.0)
+            self._cosine = cos
+        return self._cosine
+
+    @property
+    def gcd(self) -> np.ndarray:
+        """Pairwise GCD matrix ``1 − cos`` (Definition 3), diagonal 0."""
+        return 1.0 - self.cosine
+
+    @property
+    def conflict_mask(self) -> np.ndarray:
+        """Boolean ``(K, K)``: pair conflicts (GCD > 1 ⇔ cos < 0).
+
+        Derived from the *sign* of the Gram entries (division by positive
+        norms preserves sign), with zero-gradient rows/columns excluded —
+        an inner product of exactly 0 (e.g. against an all-zero gradient)
+        never counts as a conflict.  Diagonal is False.
+        """
+        if self._conflict_mask is None:
+            nonzero = self.nonzero
+            mask = (self.gram < 0.0) & nonzero[:, None] & nonzero[None, :]
+            np.fill_diagonal(mask, False)
+            self._conflict_mask = mask
+        return self._conflict_mask
+
+    # ------------------------------------------------------------------
+    def conflict_counts(self) -> tuple[int, int]:
+        """``(pairs, conflicts)`` over distinct (unordered) task pairs."""
+        num_tasks = self.num_tasks
+        pairs = num_tasks * (num_tasks - 1) // 2
+        if pairs == 0:
+            return 0, 0
+        upper = self.conflict_mask[np.triu_indices(num_tasks, k=1)]
+        return pairs, int(np.count_nonzero(upper))
+
+    def __repr__(self) -> str:
+        computed = [
+            name
+            for name, value in (
+                ("gram", self._gram),
+                ("norms", self._norms_sq),
+                ("cosine", self._cosine),
+                ("conflict_mask", self._conflict_mask),
+            )
+            if value is not None
+        ]
+        shape = self.grads.shape
+        return f"GradStats(shape={shape}, computed={computed})"

@@ -27,6 +27,21 @@ Fidelity notes (also recorded in DESIGN.md):
 - *Zero momentum.*  At t = 0 all momenta are zero and Eq. (8) divides by
   ‖m_j‖; calibration is skipped for a partner with (numerically) zero
   momentum — the first step therefore reduces to plain joint training.
+
+Kernels: under ``momentum_update="per_step"`` every calibration reads the
+step-(t−1) momentum and the raw gradients, so the double loop over ordered
+pairs commutes — the whole of Eq. (8) collapses to one masked matrix
+product (``pairwise_mode="vectorized"``, the default):
+
+    ĝ = g + λ · C · (s ⊙ m),   C[i,j] = conflict(i,j) ∧ ‖m_j‖ ≥ ε,
+                               s_j    = ‖g_j‖ / ‖m_j‖,
+
+with the conflict mask and norms read from the shared per-step
+:class:`~repro.core.gradstats.GradStats` cache and all telemetry counters
+derived from mask sums.  ``pairwise_mode="loop"`` keeps the original
+per-pair loop as the reference oracle; ``momentum_update="per_pair"``
+is inherently sequential (momentum mutates mid-loop) and always runs the
+loop kernel.
 """
 
 from __future__ import annotations
@@ -34,7 +49,8 @@ from __future__ import annotations
 import numpy as np
 
 from .balancer import GradientBalancer, register_balancer
-from .conflict import gradient_conflict_degree
+from .conflict import _cosine_pair
+from .gradstats import GradStats
 
 __all__ = ["MoCoGrad"]
 
@@ -62,6 +78,11 @@ class MoCoGrad(GradientBalancer):
         Optional p > 0 enabling Corollary 1's schedule λ_t = λ/t^p — the
         setting under which the O(√T) regret bound is proven (p = 1/2).
         ``None`` (default) keeps λ constant, as in the paper's experiments.
+    pairwise_mode:
+        ``"vectorized"`` (default) computes Eq. (8) as one masked matrix
+        product over the shared GradStats cache; ``"loop"`` runs the
+        original per-pair reference loop.  Only affects ``per_step``
+        momentum updates; ``per_pair`` always loops.
     seed:
         Seeds the random partner-ordering required by Algorithm 1 line 7.
     """
@@ -73,9 +94,10 @@ class MoCoGrad(GradientBalancer):
         momentum_update: str = "per_step",
         momentum_source: str = "raw",
         calibration_decay: float | None = None,
+        pairwise_mode: str = "vectorized",
         seed: int | None = None,
     ) -> None:
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, pairwise_mode=pairwise_mode)
         if not 0.0 < calibration <= 1.0:
             raise ValueError(f"calibration λ must be in (0, 1]; got {calibration}")
         if not 0.0 <= beta1 < 1.0:
@@ -106,15 +128,17 @@ class MoCoGrad(GradientBalancer):
         return self._momentum
 
     # ------------------------------------------------------------------
-    def calibrate(self, grads: np.ndarray) -> np.ndarray:
+    def calibrate(self, grads: np.ndarray, stats: GradStats | None = None) -> np.ndarray:
         """Return the calibrated per-task gradients ``ĝ`` (``(K, d)``).
 
         Exposed separately from :meth:`balance` so analysis code (and the
         Theorem 1 bound test) can inspect per-task calibrated gradients.
-        Updates the internal momentum state.
+        Updates the internal momentum state.  ``stats`` may carry an
+        existing :class:`GradStats` over ``grads`` (as :meth:`balance`
+        does); one is built on demand otherwise.
         """
         grads = np.asarray(grads, dtype=np.float64)
-        num_tasks, dim = grads.shape
+        num_tasks = grads.shape[0]
         if self._momentum is None:
             self._momentum = np.zeros_like(grads)
         elif self._momentum.shape != grads.shape:
@@ -130,12 +154,12 @@ class MoCoGrad(GradientBalancer):
         if self.telemetry.enabled:
             # λ in effect for this step (step_count has not advanced yet).
             self.telemetry.gauge("mocograd_lambda").set(self.current_calibration())
-        calibrated = grads.copy()
         previous_momentum = self._momentum
 
         if self.momentum_update == "per_pair":
             # Literal Algorithm 1: momentum mutates while later tasks i are
-            # still being calibrated.
+            # still being calibrated — inherently sequential, always a loop.
+            calibrated = grads.copy()
             momentum = previous_momentum.copy()
             for i in range(num_tasks):
                 partners = [j for j in range(num_tasks) if j != i]
@@ -149,11 +173,19 @@ class MoCoGrad(GradientBalancer):
         else:
             # per_step: all calibrations read the step-(t−1) momentum; each
             # task's momentum then updates exactly once.
-            for i in range(num_tasks):
-                partners = [j for j in range(num_tasks) if j != i]
-                self.rng.shuffle(partners)
-                for j in partners:
-                    self._maybe_calibrate(calibrated, grads, i, j, previous_momentum[j])
+            if self._use_vectorized(num_tasks):
+                if stats is None or stats.grads is not grads:
+                    stats = GradStats(grads)
+                calibrated = self._calibrate_per_step_vectorized(
+                    grads, stats, previous_momentum
+                )
+            else:
+                calibrated = grads.copy()
+                for i in range(num_tasks):
+                    partners = [j for j in range(num_tasks) if j != i]
+                    self.rng.shuffle(partners)
+                    for j in partners:
+                        self._maybe_calibrate(calibrated, grads, i, j, previous_momentum[j])
             source = calibrated if self.momentum_source == "calibrated" else grads
             self._momentum = self.beta1 * previous_momentum + (1.0 - self.beta1) * source
 
@@ -164,6 +196,42 @@ class MoCoGrad(GradientBalancer):
                     float(norm)
                 )
         return calibrated
+
+    def _calibrate_per_step_vectorized(
+        self,
+        grads: np.ndarray,
+        stats: GradStats,
+        previous_momentum: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. (8) for all ordered pairs as one masked matrix product.
+
+        Valid because per-step calibration is order-free: every term reads
+        raw gradients and step-(t−1) momentum, and accumulation commutes.
+        Telemetry counter values are derived from mask sums and match the
+        reference loop's per-pair increments exactly.
+        """
+        conflict = stats.conflict_mask  # (K, K) ordered pairs, diag False
+        conflicts = int(conflict.sum())
+        telemetry = self.telemetry
+        if conflicts:
+            telemetry.counter("mocograd_conflicts_total").inc(conflicts)
+        momentum_norms = np.linalg.norm(previous_momentum, axis=1)
+        live = momentum_norms >= _EPS
+        # Eq. (8) is undefined for a zero-momentum partner: those columns
+        # of the conflict mask are zeroed and counted as skips.
+        effective = conflict & live[None, :]
+        applied = int(effective.sum())
+        skipped = conflicts - applied
+        if skipped:
+            telemetry.counter("mocograd_skipped_zero_momentum_total").inc(skipped)
+        if applied == 0:
+            return grads.copy()
+        telemetry.counter("mocograd_calibrations_total").inc(applied)
+        scale = np.zeros_like(momentum_norms)
+        np.divide(stats.norms, momentum_norms, out=scale, where=live)
+        return grads + self.current_calibration() * (
+            effective.astype(np.float64) @ (scale[:, None] * previous_momentum)
+        )
 
     def current_calibration(self) -> float:
         """λ at the current step (λ/t^p under Corollary 1's schedule)."""
@@ -181,7 +249,7 @@ class MoCoGrad(GradientBalancer):
         momentum_j: np.ndarray,
     ) -> None:
         """Apply Eq. (8) to task ``i`` against partner ``j`` if conflicting."""
-        if gradient_conflict_degree(grads[i], grads[j]) <= 1.0:
+        if _cosine_pair(grads[i], grads[j]) >= 0.0:  # GCD ≤ 1: no conflict
             return
         telemetry = self.telemetry
         telemetry.counter("mocograd_conflicts_total").inc()
@@ -198,7 +266,7 @@ class MoCoGrad(GradientBalancer):
     def balance(self, grads: np.ndarray, losses: np.ndarray) -> np.ndarray:
         """Algorithm 1: calibrate all tasks, return ``g^new = Σ_i ĝ_i``."""
         grads, _ = self._check_inputs(grads, losses)
-        calibrated = self.calibrate(grads)
+        calibrated = self.calibrate(grads, stats=self._stats)
         return calibrated.sum(axis=0)
 
     def __repr__(self) -> str:

@@ -322,13 +322,16 @@ class MTLTrainer:
         if not self.track_conflicts:
             return
         from ..core.conflict import conflict_fraction, pairwise_gcd
+        from ..core.gradstats import GradStats
 
-        matrix = pairwise_gcd(grads)
+        # One GradStats feeds both diagnostics — one GEMM instead of two.
+        stats = GradStats(np.asarray(grads, dtype=np.float64))
+        matrix = pairwise_gcd(grads, stats=stats)
         num_tasks = matrix.shape[0]
         mean_gcd = (
             float(matrix[np.triu_indices(num_tasks, k=1)].mean()) if num_tasks > 1 else 0.0
         )
-        self.conflict_stats.append((mean_gcd, conflict_fraction(grads)))
+        self.conflict_stats.append((mean_gcd, conflict_fraction(grads, stats=stats)))
 
     # ------------------------------------------------------------------
     # Gradient inspection (used by the TCI/GCD analysis)

@@ -209,6 +209,28 @@ class TestGradVac:
         with pytest.raises(ValueError):
             GradVac(ema_beta=0.0)
 
+    def test_targets_shape_mismatch_raises_instead_of_silent_reset(self):
+        from repro.obs import Telemetry
+
+        vac = GradVac(ema_beta=0.5, seed=0)
+        vac.telemetry = Telemetry()
+        vac.reset(2)
+        grads = np.array([[1.0, 0.0], [1.0, 0.0]])
+        vac.balance(grads, np.ones(2))
+        # Simulate stale state from an external task-count change.
+        stale = np.full((3, 3), 0.25)
+        vac._targets = stale
+        with pytest.raises(ValueError, match="reset\\(\\)"):
+            vac.balance(grads, np.ones(2))
+        # The EMA history survives the rejected call untouched.
+        np.testing.assert_array_equal(vac.similarity_targets, stale)
+        counter = vac.telemetry.counter("gradvac_targets_shape_mismatch_total")
+        assert counter.value == 1
+        # reset() is the documented recovery path.
+        vac.reset(2)
+        vac.balance(grads, np.ones(2))
+        assert vac.similarity_targets.shape == (2, 2)
+
 
 class TestCAGrad:
     def test_reduces_to_average_when_aligned(self, rng):

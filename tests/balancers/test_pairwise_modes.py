@@ -1,0 +1,155 @@
+"""Loop vs vectorized pairwise-kernel equivalence (PR 4 tentpole).
+
+The vectorized kernels must be a pure performance change: for every
+registered balancer, every task count, and every step of a multi-step
+trajectory, ``pairwise_mode="vectorized"`` must reproduce the
+``pairwise_mode="loop"`` reference — outputs to within fp tolerance and
+telemetry counters *bitwise identical*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.balancers  # noqa: F401 - triggers registration
+from repro.core import available_balancers, create_balancer
+from repro.core.mocograd import MoCoGrad
+from repro.obs import Telemetry
+
+TASK_COUNTS = (2, 4, 8, 16)
+DIM = 12
+STEPS = 6
+
+
+def make_balancer(name: str, mode: str, **kwargs):
+    """A balancer pinned to ``mode`` with small-K dispatch disabled.
+
+    Not every balancer constructor takes ``pairwise_mode`` (only the ones
+    with pairwise kernels do), so the mode is set post-construction; the
+    dispatch threshold is zeroed so "vectorized" really runs the
+    vectorized kernel even at K=2.
+    """
+    balancer = create_balancer(name, seed=0, **kwargs)
+    balancer.pairwise_mode = mode
+    balancer.vectorize_min_tasks = 0
+    balancer.telemetry = Telemetry()
+    return balancer
+
+
+def counter_values(balancer) -> dict:
+    """``{(name, sorted label items): value}`` for every counter series."""
+    return {
+        (m["name"], tuple(sorted(m["labels"].items()))): m["value"]
+        for m in balancer.telemetry.registry.snapshot()
+        if m["kind"] == "counter"
+    }
+
+
+def run_trajectory(balancer, num_tasks: int, steps: int = STEPS):
+    rng = np.random.default_rng(7)
+    balancer.reset(num_tasks)
+    outputs = []
+    for _ in range(steps):
+        grads = rng.normal(size=(num_tasks, DIM))
+        losses = rng.uniform(0.1, 2.0, size=num_tasks)
+        outputs.append(balancer.balance(grads, losses))
+    return outputs
+
+
+def assert_modes_match(name: str, num_tasks: int, **kwargs):
+    loop = make_balancer(name, "loop", **kwargs)
+    vectorized = make_balancer(name, "vectorized", **kwargs)
+    loop_outputs = run_trajectory(loop, num_tasks)
+    vec_outputs = run_trajectory(vectorized, num_tasks)
+    for step, (expected, actual) in enumerate(zip(loop_outputs, vec_outputs)):
+        np.testing.assert_allclose(
+            actual,
+            expected,
+            rtol=0.0,
+            atol=1e-9,
+            err_msg=f"{name} K={num_tasks} diverged at step {step}",
+        )
+    assert counter_values(vectorized) == counter_values(loop), (
+        f"{name} K={num_tasks}: telemetry counters differ between modes"
+    )
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+@pytest.mark.parametrize("name", sorted(available_balancers()))
+def test_vectorized_matches_loop(name, num_tasks):
+    assert_modes_match(name, num_tasks)
+
+
+@pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+def test_mocograd_calibrated_momentum_source(num_tasks):
+    assert_modes_match("mocograd", num_tasks, momentum_source="calibrated")
+
+
+@pytest.mark.parametrize("num_tasks", (2, 8))
+def test_mocograd_per_pair_ignores_mode(num_tasks):
+    """per_pair momentum mutates mid-loop, so both modes run the same
+    sequential kernel and must agree exactly."""
+    loop = make_balancer("mocograd", "loop", momentum_update="per_pair")
+    vectorized = make_balancer("mocograd", "vectorized", momentum_update="per_pair")
+    for expected, actual in zip(
+        run_trajectory(loop, num_tasks), run_trajectory(vectorized, num_tasks)
+    ):
+        np.testing.assert_array_equal(actual, expected)
+
+
+class TestMomentumStateEquivalence:
+    @pytest.mark.parametrize("num_tasks", TASK_COUNTS)
+    def test_momentum_trajectories_match(self, num_tasks):
+        loop = make_balancer("mocograd", "loop")
+        vectorized = make_balancer("mocograd", "vectorized")
+        run_trajectory(loop, num_tasks)
+        run_trajectory(vectorized, num_tasks)
+        np.testing.assert_allclose(
+            vectorized.momentum, loop.momentum, rtol=0.0, atol=1e-9
+        )
+
+    def test_gradvac_targets_match(self):
+        loop = make_balancer("gradvac", "loop")
+        vectorized = make_balancer("gradvac", "vectorized")
+        run_trajectory(loop, 8)
+        run_trajectory(vectorized, 8)
+        np.testing.assert_allclose(
+            vectorized.similarity_targets,
+            loop.similarity_targets,
+            rtol=0.0,
+            atol=1e-9,
+        )
+
+
+class TestDispatch:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="pairwise_mode"):
+            MoCoGrad(pairwise_mode="simd")
+
+    def test_default_mode_is_vectorized(self):
+        assert MoCoGrad().pairwise_mode == "vectorized"
+
+    def test_small_k_dispatches_to_loop_kernel(self):
+        balancer = MoCoGrad()
+        assert balancer.vectorize_min_tasks == 4
+        assert not balancer._use_vectorized(2)
+        assert balancer._use_vectorized(4)
+
+    def test_pcgrad_raises_dispatch_threshold(self):
+        pcgrad = create_balancer("pcgrad")
+        assert pcgrad.vectorize_min_tasks == 6
+        assert not pcgrad._use_vectorized(4)
+        assert pcgrad._use_vectorized(6)
+
+    def test_loop_mode_never_vectorizes(self):
+        balancer = MoCoGrad(pairwise_mode="loop")
+        assert not balancer._use_vectorized(16)
+
+    def test_gradstats_shared_with_balance(self):
+        """_check_inputs builds the per-step cache that balance() consumes."""
+        balancer = MoCoGrad(seed=0)
+        grads = np.random.default_rng(3).normal(size=(4, DIM))
+        balancer.balance(grads, np.ones(4))
+        assert balancer.gradstats is not None
+        assert balancer.gradstats.grads.shape == (4, DIM)

@@ -1,5 +1,8 @@
 """Tests for the GCD / TCI conflict diagnostics (Definitions 2–3)."""
 
+import warnings
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -134,3 +137,65 @@ class TestTCI:
     def test_profile_length_mismatch(self):
         with pytest.raises(ValueError):
             tci_profile([1.0], [1.0, 2.0])
+
+
+@contextmanager
+def warnings_none():
+    """Context asserting no DeprecationWarning is emitted inside it."""
+    with warnings.catch_warnings(record=True) as records:
+        warnings.simplefilter("always")
+        yield
+    deprecations = [r for r in records if issubclass(r.category, DeprecationWarning)]
+    assert not deprecations, f"unexpected DeprecationWarning: {deprecations}"
+
+
+class TestHotPathDeprecation:
+    """Per-pair diagnostics are deprecated *inside* balance() only (PR 4)."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_one_shot_flag(self, monkeypatch):
+        from repro.core import conflict as conflict_module
+
+        monkeypatch.setattr(conflict_module, "_hot_path_warned", False)
+
+    @staticmethod
+    def _legacy_balancer():
+        from repro.core.balancer import GradientBalancer
+
+        class LegacyBalancer(GradientBalancer):
+            name = "legacy"
+
+            def balance(self, grads, losses):
+                grads, _ = self._check_inputs(grads, losses)
+                if cosine_similarity(grads[0], grads[1]) < 0.0:
+                    return grads[0]
+                return grads.sum(axis=0)
+
+        return LegacyBalancer()
+
+    def test_per_pair_helper_warns_once_inside_balance(self):
+        balancer = self._legacy_balancer()
+        grads = np.array([[1.0, 0.0], [-1.0, 0.2]])
+        with pytest.warns(DeprecationWarning, match="gradstats"):
+            balancer.balance(grads, np.ones(2))
+        # One-shot: the second step must not warn again.
+        with warnings_none():
+            balancer.balance(grads, np.ones(2))
+
+    def test_diagnostic_use_outside_balance_never_warns(self):
+        with warnings_none():
+            cosine_similarity(np.array([1.0, 0.0]), np.array([-1.0, 0.0]))
+            gradient_conflict_degree(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+            is_conflicting(np.array([1.0, 0.0]), np.array([-1.0, 0.0]))
+
+    def test_registry_balancers_never_warn(self):
+        """The shipped loop kernels use the private pair helper, so even
+        the reference oracle stays warning-free."""
+        import repro.balancers  # noqa: F401
+        from repro.core import create_balancer
+
+        grads = np.array([[1.0, 0.0], [-1.0, 0.2]])
+        for name in ("mocograd", "pcgrad", "gradvac"):
+            balancer = create_balancer(name, seed=0, pairwise_mode="loop")
+            with warnings_none():
+                balancer.balance(grads, np.ones(2))

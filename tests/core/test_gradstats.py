@@ -1,0 +1,155 @@
+"""Tests for the shared per-step pairwise-geometry cache (GradStats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import GradStats, cosine_similarity, is_conflicting
+from repro.core import gradstats as gradstats_module
+
+
+class TestProducts:
+    def test_gram_is_one_gemm(self, rng):
+        grads = rng.normal(size=(4, 9))
+        stats = GradStats(grads)
+        np.testing.assert_allclose(stats.gram, grads @ grads.T)
+
+    def test_norms_match_linalg(self, rng):
+        grads = rng.normal(size=(5, 7))
+        stats = GradStats(grads)
+        np.testing.assert_allclose(stats.norms, np.linalg.norm(grads, axis=1))
+        np.testing.assert_allclose(stats.norms_sq, stats.norms**2)
+
+    def test_cosine_matches_pairwise_diagnostic(self, rng):
+        grads = rng.normal(size=(4, 6))
+        stats = GradStats(grads)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    expected = cosine_similarity(grads[i], grads[j])
+                    assert stats.cosine[i, j] == pytest.approx(expected)
+
+    def test_cosine_diagonal_is_one_gcd_diagonal_zero(self, rng):
+        stats = GradStats(rng.normal(size=(3, 8)))
+        np.testing.assert_allclose(np.diag(stats.cosine), np.ones(3))
+        np.testing.assert_allclose(np.diag(stats.gcd), np.zeros(3))
+
+    def test_conflict_mask_matches_is_conflicting(self, rng):
+        grads = rng.normal(size=(5, 6))
+        stats = GradStats(grads)
+        for i in range(5):
+            for j in range(5):
+                if i == j:
+                    assert not stats.conflict_mask[i, j]
+                else:
+                    assert stats.conflict_mask[i, j] == is_conflicting(grads[i], grads[j])
+
+    def test_conflict_counts(self):
+        grads = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, -1.0]])
+        pairs, conflicts = GradStats(grads).conflict_counts()
+        assert pairs == 3
+        assert conflicts == 2
+
+    def test_conflict_counts_single_task(self):
+        assert GradStats(np.ones((1, 4))).conflict_counts() == (0, 0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            GradStats(np.ones(5))
+
+
+class TestZeroGradients:
+    def test_zero_row_cosine_zero(self):
+        grads = np.array([[1.0, 0.0], [0.0, 0.0]])
+        stats = GradStats(grads)
+        assert stats.cosine[0, 1] == 0.0
+        assert stats.cosine[1, 0] == 0.0
+        assert stats.gcd[0, 1] == pytest.approx(1.0)
+
+    def test_zero_row_never_conflicts(self):
+        grads = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 0.0]])
+        mask = GradStats(grads).conflict_mask
+        assert mask[0, 1] and mask[1, 0]
+        assert not mask[2].any()
+        assert not mask[:, 2].any()
+
+    def test_all_zero_matrix(self):
+        stats = GradStats(np.zeros((3, 4)))
+        assert stats.conflict_counts() == (3, 0)
+        np.testing.assert_allclose(np.diag(stats.cosine), np.ones(3))
+
+
+class TestClamp:
+    def test_cosine_clamped_against_gram_drift(self):
+        """Floating-point drift in the GEMM can push |cos| past 1; the
+        cache clamps so GCD stays inside Definition 3's [0, 2]."""
+        stats = GradStats(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        drift = 1.0 + 1e-15
+        stats._gram = np.array([[1.0, drift], [drift, 1.0]])
+        assert stats.cosine[0, 1] == 1.0
+        assert stats.gcd[0, 1] == 0.0
+
+    def test_antiparallel_clamped(self):
+        stats = GradStats(np.array([[2.0, 0.0], [-3.0, 0.0]]))
+        stats._gram = np.array([[4.0, -6.0 * (1.0 + 1e-15)], [-6.0 * (1.0 + 1e-15), 9.0]])
+        assert stats.cosine[0, 1] == -1.0
+        assert stats.gcd[0, 1] == 2.0
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(1, 8)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gcd_always_in_range(self, grads):
+        gcd = GradStats(grads).gcd
+        assert np.all(gcd >= 0.0)
+        assert np.all(gcd <= 2.0)
+
+
+class TestLaziness:
+    def test_construction_computes_nothing(self, monkeypatch):
+        calls = []
+        original = gradstats_module.gram_matrix
+        monkeypatch.setattr(
+            gradstats_module, "gram_matrix", lambda g: calls.append(1) or original(g)
+        )
+        stats = GradStats(np.ones((3, 5)))
+        assert calls == []
+        stats.gram
+        assert calls == [1]
+
+    def test_gram_computed_once(self, monkeypatch):
+        calls = []
+        original = gradstats_module.gram_matrix
+        monkeypatch.setattr(
+            gradstats_module, "gram_matrix", lambda g: calls.append(1) or original(g)
+        )
+        stats = GradStats(np.ones((3, 5)))
+        stats.gram
+        stats.cosine
+        stats.conflict_mask
+        stats.gcd
+        assert calls == [1]
+
+    def test_norms_do_not_force_gemm(self, monkeypatch):
+        calls = []
+        original = gradstats_module.gram_matrix
+        monkeypatch.setattr(
+            gradstats_module, "gram_matrix", lambda g: calls.append(1) or original(g)
+        )
+        stats = GradStats(np.ones((3, 5)))
+        stats.norms
+        stats.norms_sq
+        stats.nonzero
+        assert calls == []
+
+    def test_repr_reports_computed_products(self):
+        stats = GradStats(np.ones((2, 3)))
+        assert "computed=[]" in repr(stats)
+        stats.gram
+        assert "gram" in repr(stats)

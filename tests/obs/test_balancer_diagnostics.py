@@ -119,3 +119,47 @@ class TestMoCoGradCalibrationCounters:
         grads = np.array([[1.0, 0.0], [1.0, 0.1]])
         balancer.balance(grads, np.ones(2))
         assert counter_value(balancer.telemetry, "mocograd_conflicts_total") == 0
+
+
+class TestConflictTelemetryEdgeCases:
+    """Satellite coverage for _record_conflict_telemetry (PR 4)."""
+
+    def test_single_task_records_no_pair_counters(self):
+        """K=1 has zero pairs; nothing is recorded and, in particular,
+        the conflict-fraction gauge never divides by zero."""
+        balancer = EqualWeighting()
+        balancer.telemetry = Telemetry()
+        balancer.balance(np.array([[1.0, 2.0, 3.0]]), np.ones(1))
+        assert balancer.telemetry.registry.snapshot() == []
+
+    def test_zero_gradient_row_is_not_a_conflict(self):
+        """A vanished task gradient has inner product exactly 0 with every
+        partner — that must count as a pair but never as a conflict."""
+        balancer = EqualWeighting()
+        balancer.telemetry = Telemetry()
+        grads = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 0.0]])
+        balancer.balance(grads, np.ones(3))
+        assert counter_value(balancer.telemetry, "balancer_pairs_total", method="equal") == 3
+        # Only the genuinely antiparallel (0, 1) pair conflicts.
+        assert (
+            counter_value(balancer.telemetry, "balancer_conflicts_total", method="equal") == 1
+        )
+
+    def test_disabled_telemetry_skips_gram_entirely(self, monkeypatch):
+        """GradStats is lazy: with telemetry disabled, a geometry-free
+        balancer's step must never run the K×K Gram GEMM."""
+        from repro.core import gradstats as gradstats_module
+
+        calls = []
+        original = gradstats_module.gram_matrix
+        monkeypatch.setattr(
+            gradstats_module, "gram_matrix", lambda g: calls.append(1) or original(g)
+        )
+        balancer = EqualWeighting()  # default NULL_TELEMETRY
+        grads = np.array([[1.0, 0.0], [-1.0, 0.2]])
+        balancer.balance(grads, np.ones(2))
+        assert calls == []
+        # Flipping telemetry on makes the same step pay for exactly one GEMM.
+        balancer.telemetry = Telemetry()
+        balancer.balance(grads, np.ones(2))
+        assert calls == [1]
