@@ -1,0 +1,248 @@
+"""Optimizer microbenchmark: flat arena steps vs per-parameter loops.
+
+Two measurements, both written to ``BENCH_optim.json`` at the repository
+root:
+
+1. **Optimizer step** — each registered optimizer (SGD+momentum, Adam,
+   AdaGrad, RMSProp) over an arena-packed parameter set shaped like a real
+   model (many small tensors, total d ≥ 1e5), timed in
+   ``step_mode="flat"`` vs ``step_mode="loop"``.  The acceptance bar is
+   ≥ 1.5× on Adam at this d; CI's smoke gate fails any optimizer below
+   1.0×.
+2. **Full train step** — ``MTLTrainer`` (Adam, multi-root backward) with the
+   arena on (``use_arena=True, step_mode="flat"``) vs off
+   (``use_arena=False``), timing the whole ``step`` span: the packed path
+   removes the flatten/scatter copies and the per-parameter optimizer loop
+   from every step.
+
+The flat kernels must also be allocation-free: after warmup, one flat
+``_step`` may not allocate a single d-length temporary.  This is asserted
+on every run via a ``tracemalloc`` probe (numpy buffers are tracked through
+the tracemalloc allocation domain), so a regression that reintroduces
+``grad**2`` / bias-correction / weight-decay temporaries fails the
+benchmark before any timing is reported.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_optim.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the run for CI and exits non-zero if any flat kernel is
+slower than its loop oracle (speedup < 1.0) or the allocation probe trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch import HardParameterSharing, LinearHead, MLPEncoder
+from repro.balancers import EqualWeighting
+from repro.data import TaskSpec
+from repro.nn import Adam, AdaGrad, Parameter, ParameterArena, RMSProp, SGD
+from repro.nn.functional import mse_loss
+from repro.obs import Telemetry
+from repro.training import MTLTrainer
+
+OPTIMIZERS = {
+    "sgdm": (SGD, dict(lr=1e-2, momentum=0.9, weight_decay=1e-4)),
+    "adam": (Adam, dict(lr=1e-3, weight_decay=1e-4)),
+    "adagrad": (AdaGrad, dict(lr=1e-2)),
+    "rmsprop": (RMSProp, dict(lr=1e-3)),
+}
+
+# ~256 tensors averaging ~430 elements: the granularity of a real trunk
+# (weights + biases), total d ≈ 1.1e5 — the Adam/d≥1e5 acceptance config.
+PARAM_SHAPES = [(24, 16), (16,)] * 128
+
+TRAIN_BATCH = 32
+TRAIN_IN_DIM = 16
+TRAIN_HIDDEN = [48] * 6
+TRAIN_TASKS = 4
+
+
+def make_arena(seed: int = 0) -> ParameterArena:
+    rng = np.random.default_rng(seed)
+    return ParameterArena([Parameter(rng.normal(size=shape)) for shape in PARAM_SHAPES])
+
+
+def assert_allocation_free(optimizer, dim: int) -> int:
+    """Probe one warmed-up flat step for d-length allocations.
+
+    Returns the observed peak allocation delta in bytes; raises
+    ``AssertionError`` when it reaches a quarter of a d-length buffer.
+    """
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    for _ in range(3):
+        optimizer.step()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    delta = peak - baseline
+    limit = dim * 8 // 4
+    assert delta < limit, (
+        f"flat _step allocated {delta} bytes after warmup "
+        f"(d-length buffer is {dim * 8}); the fused path must be allocation-free"
+    )
+    return delta
+
+
+def time_optimizer_steps(name: str, step_mode: str, steps: int, warmup: int) -> float:
+    """Median seconds per optimizer step in the given mode."""
+    import time
+
+    cls, kwargs = OPTIMIZERS[name]
+    arena = make_arena()
+    optimizer = cls(arena, step_mode=step_mode, **kwargs)
+    arena.grad[:] = np.random.default_rng(1).normal(size=arena.size)
+    durations = []
+    for i in range(warmup + steps):
+        start = time.perf_counter()
+        optimizer.step()
+        if i >= warmup:
+            durations.append(time.perf_counter() - start)
+    return float(np.median(durations))
+
+
+def bench_optimizer_steps(steps: int, warmup: int) -> list[dict]:
+    results = []
+    for name in OPTIMIZERS:
+        cls, kwargs = OPTIMIZERS[name]
+        arena = make_arena()
+        flat = cls(arena, step_mode="flat", **kwargs)
+        arena.grad[:] = np.random.default_rng(1).normal(size=arena.size)
+        for _ in range(3):  # warm scratch/state before probing
+            flat.step()
+        probe_bytes = assert_allocation_free(flat, arena.size)
+        loop_seconds = time_optimizer_steps(name, "loop", steps, warmup)
+        flat_seconds = time_optimizer_steps(name, "flat", steps, warmup)
+        results.append(
+            {
+                "optimizer": name,
+                "dim": arena.size,
+                "num_parameters": len(arena),
+                "loop_seconds": loop_seconds,
+                "flat_seconds": flat_seconds,
+                "speedup": loop_seconds / flat_seconds,
+                "probe_peak_bytes": probe_bytes,
+            }
+        )
+    return results
+
+
+def median_train_step_seconds(use_arena: bool, steps: int, warmup: int) -> float:
+    """Median whole-step seconds of an MTLTrainer with/without the arena."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(TRAIN_BATCH, TRAIN_IN_DIM))
+    names = [f"t{k}" for k in range(TRAIN_TASKS)]
+    targets = {name: rng.normal(size=TRAIN_BATCH) for name in names}
+    tasks = [TaskSpec(name, mse_loss, {}, {}) for name in names]
+    model = HardParameterSharing(
+        MLPEncoder(TRAIN_IN_DIM, TRAIN_HIDDEN, np.random.default_rng(1)),
+        {
+            name: LinearHead(TRAIN_HIDDEN[-1], 1, np.random.default_rng(2))
+            for name in names
+        },
+    )
+    telemetry = Telemetry()
+    trainer = MTLTrainer(
+        model,
+        tasks,
+        EqualWeighting(),
+        seed=0,
+        telemetry=telemetry,
+        use_arena=use_arena,
+        step_mode="auto",
+    )
+    for _ in range(warmup + steps):
+        trainer.train_step_single(x, targets)
+    return float(np.median(telemetry.durations("step")[warmup:]))
+
+
+def run(steps: int, warmup: int, train_steps: int, train_warmup: int) -> dict:
+    optimizer_results = bench_optimizer_steps(steps, warmup)
+    loop_step = median_train_step_seconds(False, train_steps, train_warmup)
+    flat_step = median_train_step_seconds(True, train_steps, train_warmup)
+    return {
+        "benchmark": "optim",
+        "workload": {
+            "dim": sum(int(np.prod(shape)) for shape in PARAM_SHAPES),
+            "num_parameters": len(PARAM_SHAPES),
+            "steps": steps,
+            "warmup": warmup,
+            "train": {
+                "batch": TRAIN_BATCH,
+                "in_dim": TRAIN_IN_DIM,
+                "hidden": TRAIN_HIDDEN,
+                "tasks": TRAIN_TASKS,
+                "steps": train_steps,
+                "warmup": train_warmup,
+            },
+        },
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": optimizer_results,
+        "train_step": {
+            "loop_seconds": loop_step,
+            "flat_seconds": flat_step,
+            "speedup": loop_step / flat_step,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run; fail (exit 1) if any flat kernel is slower than its loop oracle",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_optim.json",
+        help="output JSON path (default: <repo root>/BENCH_optim.json)",
+    )
+    args = parser.parse_args(argv)
+
+    steps, warmup = (60, 10) if args.smoke else (200, 20)
+    train_steps, train_warmup = (15, 5) if args.smoke else (40, 8)
+    report = run(steps, warmup, train_steps, train_warmup)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{'optimizer':>9} {'loop (us)':>10} {'flat (us)':>10} {'speedup':>8}")
+    for row in report["results"]:
+        print(
+            f"{row['optimizer']:>9} {row['loop_seconds'] * 1e6:>10.1f} "
+            f"{row['flat_seconds'] * 1e6:>10.1f} {row['speedup']:>7.2f}x"
+        )
+    train = report["train_step"]
+    print(
+        f"train-step: no-arena {train['loop_seconds'] * 1e3:.3f} ms, "
+        f"arena {train['flat_seconds'] * 1e3:.3f} ms, {train['speedup']:.2f}x"
+    )
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        slow = [r for r in report["results"] if r["speedup"] < 1.0]
+        failures = []
+        if slow:
+            names = ", ".join(r["optimizer"] for r in slow)
+            failures.append(f"flat slower than loop for: {names}")
+        if train["speedup"] < 1.0:
+            failures.append(f"arena train step slower than loop ({train['speedup']:.2f}x)")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

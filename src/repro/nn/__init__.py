@@ -31,6 +31,7 @@ from .layers import (
     Sigmoid,
     Tanh,
 )
+from .arena import ParameterArena, packed_segment
 from .module import Module, ModuleList, Parameter
 from .optim import Adam, AdaGrad, Optimizer, RMSProp, SGD
 from .schedulers import CosineAnnealing, InversePower, InverseSqrt, Scheduler, StepDecay
@@ -70,6 +71,8 @@ __all__ = [
     "Module",
     "ModuleList",
     "Parameter",
+    "ParameterArena",
+    "packed_segment",
     "Linear",
     "Embedding",
     "Dropout",

@@ -17,10 +17,32 @@ __all__ = ["Parameter", "Module", "ModuleList"]
 
 
 class Parameter(Tensor):
-    """A trainable tensor; always requires grad."""
+    """A trainable tensor; always requires grad.
+
+    A parameter may be *packed* into a :class:`~repro.nn.arena.ParameterArena`,
+    in which case ``.data`` and ``.grad`` are views into the arena's
+    contiguous flat buffers and must be mutated in place rather than
+    reassigned (see the arena module for the view invariants).
+    """
 
     def __init__(self, data) -> None:
         super().__init__(data, requires_grad=True)
+        # Set by ParameterArena when this parameter is packed; None means
+        # the parameter owns standalone .data/.grad arrays.
+        self._arena = None
+        self._arena_offset = 0
+
+    def zero_grad(self) -> None:
+        """Clear the gradient.
+
+        Unpacked parameters drop the gradient array (``grad = None``, the
+        historical behaviour); packed parameters keep their arena view bound
+        and zero it in place, so the view invariant survives.
+        """
+        if self._arena is not None:
+            self.grad.fill(0.0)
+        else:
+            self.grad = None
 
 
 class Module:
@@ -98,9 +120,15 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
         for name, value in state.items():
-            if params[name].data.shape != value.shape:
+            param = params[name]
+            if param.data.shape != value.shape:
                 raise ValueError(f"shape mismatch for {name}")
-            params[name].data = value.copy()
+            if param._arena is not None:
+                # Packed parameter: write through the arena view so the
+                # flat-buffer binding survives checkpoint restores.
+                np.copyto(param.data, value)
+            else:
+                param.data = value.copy()
 
     # ------------------------------------------------------------------
     # Call protocol

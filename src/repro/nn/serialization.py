@@ -3,6 +3,12 @@
 A production library needs durable checkpoints; this stores a module's
 :meth:`~repro.nn.module.Module.state_dict` (name → ndarray) plus optional
 metadata in a single compressed numpy archive.
+
+Checkpoints are arena-transparent: ``state_dict`` copies values out of any
+:class:`~repro.nn.arena.ParameterArena` views, and ``load_state_dict``
+writes restored values *through* packed parameters' views (never rebinding
+them), so a save/load round-trip survives packing — the restored model keeps
+its contiguous buffers and every optimizer flat path stays valid.
 """
 
 from __future__ import annotations

@@ -2,6 +2,14 @@
 
 Gradient balancers operate on flat per-task gradient vectors over the shared
 parameters; these helpers convert between parameter lists and flat vectors.
+
+Every converter has an *arena fast path*: when the given parameters form one
+contiguous segment of a :class:`~repro.nn.arena.ParameterArena` (detected via
+:func:`~repro.nn.arena.packed_segment`), the per-parameter gather/scatter
+loop collapses to a single slice.  ``grad_vector`` without ``out=`` is then
+zero-copy (it returns a live view of the arena grad buffer); the setters
+become one bulk ``memcpy`` into the packed buffers, preserving the
+parameters' view bindings.
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .arena import packed_segment
 from .module import Parameter
 
 __all__ = [
@@ -30,7 +39,22 @@ def grad_vector(parameters: Sequence[Parameter], out: np.ndarray | None = None) 
     ``out`` may supply a preallocated destination (e.g. one row of the
     trainer's ``(K, d)`` workspace) — gradients are written straight into it
     with no intermediate concatenation.
+
+    Arena fast path: for a contiguous packed segment the result *is* the
+    arena's flat grad slice — returned as a zero-copy live view when ``out``
+    is omitted (mutations write through to ``param.grad``; copy it if you
+    need a snapshot), or bulk-copied into ``out`` in one vector op.
     """
+    segment = packed_segment(parameters)
+    if segment is not None:
+        arena, sl = segment
+        view = arena.grad[sl]
+        if out is None:
+            return view
+        if out.shape != view.shape:
+            raise ValueError(f"out has shape {out.shape}; expected {view.shape}")
+        out[:] = view
+        return out
     total = sum(param.size for param in parameters)
     if out is None:
         out = np.empty(total)
@@ -83,32 +107,69 @@ def set_grad_from_vector(parameters: Sequence[Parameter], vector: np.ndarray) ->
     """Write a flat gradient vector back into ``param.grad`` buffers.
 
     The length check runs *before* any write, so a mismatched vector never
-    partially mutates the gradients.
+    partially mutates the gradients.  On the arena fast path the whole
+    scatter is one bulk copy into the packed grad buffer; packed parameters
+    reached through the per-parameter path are written in place so their
+    arena view binding survives.
     """
     total = sum(param.size for param in parameters)
     if vector.size != total:
         raise ValueError(f"vector length {vector.size} does not match parameters ({total})")
+    segment = packed_segment(parameters)
+    if segment is not None:
+        arena, sl = segment
+        arena.grad[sl] = vector
+        return
     offset = 0
     for param in parameters:
         size = param.size
-        param.grad = vector[offset : offset + size].reshape(param.data.shape).copy()
+        chunk = vector[offset : offset + size].reshape(param.data.shape)
+        if param._arena is not None:
+            np.copyto(param.grad, chunk)
+        else:
+            param.grad = chunk.copy()
         offset += size
 
 
 def parameter_vector(parameters: Sequence[Parameter]) -> np.ndarray:
-    """Flatten parameter values into one vector (copied)."""
+    """Flatten parameter values into one vector (copied).
+
+    Arena fast path: one slice copy of the packed data buffer instead of a
+    per-parameter concatenation.
+    """
+    segment = packed_segment(parameters)
+    if segment is not None:
+        arena, sl = segment
+        return arena.data[sl].copy()
     return np.concatenate([p.data.reshape(-1) for p in parameters]) if parameters else np.zeros(0)
 
 
 def set_parameters_from_vector(parameters: Sequence[Parameter], vector: np.ndarray) -> None:
-    """Write flat values back into parameters."""
+    """Write flat values back into parameters.
+
+    The length check runs *before* any write (mirroring
+    :func:`set_grad_from_vector`), so a mismatched vector never partially
+    mutates model weights.  Packed parameters are written through their
+    arena views (one bulk copy on the contiguous fast path), keeping the
+    arena binding intact.
+    """
+    total = sum(param.size for param in parameters)
+    if vector.size != total:
+        raise ValueError(f"vector length {vector.size} does not match parameters ({total})")
+    segment = packed_segment(parameters)
+    if segment is not None:
+        arena, sl = segment
+        arena.data[sl] = vector
+        return
     offset = 0
     for param in parameters:
         size = param.size
-        param.data = vector[offset : offset + size].reshape(param.data.shape).copy()
+        chunk = vector[offset : offset + size].reshape(param.data.shape)
+        if param._arena is not None:
+            np.copyto(param.data, chunk)
+        else:
+            param.data = chunk.copy()
         offset += size
-    if offset != vector.size:
-        raise ValueError(f"vector length {vector.size} does not match parameters ({offset})")
 
 
 def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:

@@ -60,8 +60,9 @@ import numpy as np
 from ..arch.base import MTLModel
 from ..core.balancer import GradientBalancer
 from ..data.base import MULTI_INPUT, SINGLE_INPUT, ArrayDataset, DataLoader, TaskSpec
+from ..nn.arena import ParameterArena
 from ..nn.module import Parameter
-from ..nn.optim import SGD, Adam, Optimizer
+from ..nn.optim import SGD, Adam, AdaGrad, Optimizer, RMSProp
 from ..nn.tensor import Tensor, backward_multi
 from ..nn.utils import grad_vector, grad_vector_from_slots, set_grad_from_vector
 from ..obs import NULL_TELEMETRY, Telemetry, default_sinks
@@ -70,15 +71,49 @@ from .history import History
 __all__ = ["MTLTrainer"]
 
 
-def _make_optimizer(name: str, parameters: list[Parameter], lr: float) -> Optimizer:
+def _make_optimizer(
+    name: str,
+    parameters: list[Parameter] | ParameterArena,
+    lr: float,
+    step_mode: str = "auto",
+) -> Optimizer:
     name = name.lower()
     if name == "adam":
-        return Adam(parameters, lr=lr)
+        return Adam(parameters, lr=lr, step_mode=step_mode)
     if name == "sgd":
-        return SGD(parameters, lr=lr)
+        return SGD(parameters, lr=lr, step_mode=step_mode)
     if name == "sgdm":
-        return SGD(parameters, lr=lr, momentum=0.9)
-    raise ValueError(f"unknown optimizer {name!r}; use adam, sgd or sgdm")
+        return SGD(parameters, lr=lr, momentum=0.9, step_mode=step_mode)
+    if name == "adagrad":
+        return AdaGrad(parameters, lr=lr, step_mode=step_mode)
+    if name == "rmsprop":
+        return RMSProp(parameters, lr=lr, step_mode=step_mode)
+    raise ValueError(f"unknown optimizer {name!r}; use adam, sgd, sgdm, adagrad or rmsprop")
+
+
+def _build_arena(model: MTLModel, shared: list[Parameter]) -> ParameterArena | None:
+    """Pack the model into one arena with the shared parameters as a prefix.
+
+    The ordering matters: with the shared partition contiguous at offset 0,
+    the trainer's workspace fills and the post-balance scatter hit the
+    zero-copy segment fast path in :mod:`repro.nn.utils`.  If the model is
+    already packed (e.g. a second trainer over the same model), the existing
+    arena is reused when it covers exactly the model's parameters; a partial
+    or foreign packing falls back to the arena-less path rather than
+    detaching live views.
+    """
+    shared_ids = {id(p) for p in shared}
+    ordered = list(shared) + [p for p in model.parameters() if id(p) not in shared_ids]
+    if not ordered:
+        return None
+    existing = next((p._arena for p in ordered if p._arena is not None), None)
+    if existing is not None:
+        if all(p._arena is existing for p in ordered) and len(existing.parameters) == len(
+            ordered
+        ):
+            return existing
+        return None
+    return ParameterArena(ordered)
 
 
 class MTLTrainer:
@@ -100,8 +135,18 @@ class MTLTrainer:
         loop).  Both produce bit-comparable gradients; see the module
         docstring.
     optimizer / lr:
-        Optimizer name (adam, sgd, sgdm) and learning rate; the paper uses
-        Adam at 1e-4 (recommendation/vision) or 3e-3 (QM9).
+        Optimizer name (adam, sgd, sgdm, adagrad, rmsprop) and learning
+        rate; the paper uses Adam at 1e-4 (recommendation/vision) or 3e-3
+        (QM9).
+    use_arena / step_mode:
+        ``use_arena=True`` (default) packs the model's parameters into one
+        contiguous :class:`~repro.nn.arena.ParameterArena` — shared
+        partition first, task-specific partitions after — so gradient
+        flatten/scatter are zero-copy and ``zero_grad`` is a single buffer
+        fill.  ``step_mode`` is forwarded to the optimizer: ``"auto"``
+        (default; the fused flat-vector step when an arena is active),
+        ``"flat"`` or ``"loop"`` (the per-parameter reference oracle —
+        trajectories are bitwise identical to the flat path).
     seed:
         Seeds batch order; balancer randomness is seeded separately through
         the balancer's own ``seed``.
@@ -130,6 +175,8 @@ class MTLTrainer:
         seed: int | None = None,
         track_conflicts: bool = False,
         telemetry: Telemetry | None = None,
+        use_arena: bool = True,
+        step_mode: str = "auto",
     ) -> None:
         if mode not in (SINGLE_INPUT, MULTI_INPUT):
             raise ValueError(f"mode must be {SINGLE_INPUT!r} or {MULTI_INPUT!r}")
@@ -149,7 +196,17 @@ class MTLTrainer:
         self.mode = mode
         self.grad_source = grad_source
         self.backward_mode = backward_mode
-        self.optimizer = _make_optimizer(optimizer, model.parameters(), lr)
+        #: the contiguous parameter arena (None when ``use_arena=False`` or
+        #: the model's existing packing could not be reused)
+        self.arena = _build_arena(model, model.shared_parameters()) if use_arena else None
+        # Flat view of the shared partition's gradients (the zero-copy
+        # (d_shared,) slice the balancer path reads/writes), when contiguous.
+        self._shared_grad_view = (
+            self.arena.grad_segment(model.shared_parameters()) if self.arena is not None else None
+        )
+        self.optimizer = _make_optimizer(
+            optimizer, self.arena if self.arena is not None else model.parameters(), lr, step_mode
+        )
         self.rng = np.random.default_rng(seed)
         self.balancer.reset(len(self.tasks))
         self.history = History([task.name for task in self.tasks])
@@ -172,6 +229,21 @@ class MTLTrainer:
         if workspace is None or workspace.shape != (len(self.tasks), dim):
             self._grad_workspace = workspace = np.empty((len(self.tasks), dim))
         return workspace
+
+    def _zero_grad(self) -> None:
+        """Clear all model gradients — one buffer fill on the arena path."""
+        if self.arena is not None:
+            self.arena.zero_grad()
+        else:
+            self.model.zero_grad()
+
+    def _zero_shared_grads(self, shared: list[Parameter]) -> None:
+        """Clear the shared partition's gradients (per-task reference loop)."""
+        if self._shared_grad_view is not None:
+            self._shared_grad_view.fill(0.0)
+        else:
+            for param in shared:
+                param.zero_grad()
 
     def _collect_param_grads(
         self,
@@ -197,8 +269,7 @@ class MTLTrainer:
         else:
             for k, loss in enumerate(loss_tensors):
                 with telemetry.span("task_backward", task=self.tasks[k].name):
-                    for param in shared:
-                        param.zero_grad()
+                    self._zero_shared_grads(shared)
                     loss.backward()
                     grad_vector(shared, out=grads[k])
         return grads
@@ -212,7 +283,7 @@ class MTLTrainer:
         with telemetry.span("step", **self._step_labels):
             self.model.train()
             shared = self.model.shared_parameters()
-            self.model.zero_grad()
+            self._zero_grad()
 
             if self.grad_source == "features":
                 losses = self._collect_feature_grads(inputs, targets, shared)
@@ -234,7 +305,7 @@ class MTLTrainer:
 
             with telemetry.span("optimizer_step"):
                 self.optimizer.step()
-            self.model.zero_grad()
+            self._zero_grad()
         self._finish_step(losses)
         return losses
 
@@ -285,7 +356,7 @@ class MTLTrainer:
         with telemetry.span("step", **self._step_labels):
             self.model.train()
             shared = self.model.shared_parameters()
-            self.model.zero_grad()
+            self._zero_grad()
             losses = np.empty(len(self.tasks))
             loss_tensors = []
             with telemetry.span("forward"):
@@ -304,7 +375,7 @@ class MTLTrainer:
             set_grad_from_vector(shared, combined)
             with telemetry.span("optimizer_step"):
                 self.optimizer.step()
-            self.model.zero_grad()
+            self._zero_grad()
         self._finish_step(losses)
         return losses
 
@@ -344,7 +415,7 @@ class MTLTrainer:
         """
         self.model.train()
         shared = self.model.shared_parameters()
-        self.model.zero_grad()
+        self._zero_grad()
         outputs = self.model.forward_all(inputs)
         loss_tensors = [
             task.loss_fn(outputs[task.name], targets[task.name]) for task in self.tasks
@@ -353,7 +424,7 @@ class MTLTrainer:
         # Inspection path: no step is running, so spans stay out of the
         # step/backward accounting.
         self._collect_param_grads(loss_tensors, shared, grads, NULL_TELEMETRY)
-        self.model.zero_grad()
+        self._zero_grad()
         return grads
 
     # ------------------------------------------------------------------

@@ -141,6 +141,20 @@ class TestParameterVectors:
         set_parameters_from_vector(params, vector * 2)
         np.testing.assert_allclose(parameter_vector(params), vector * 2)
 
+    @pytest.mark.parametrize("bad_size", [5, 11])
+    def test_set_parameters_wrong_length_no_partial_write(self, rng, bad_size):
+        """Regression: a mismatched vector must not mutate ANY weight.
+
+        The length check used to run only after every parameter had been
+        written, so a short (or long) vector partially overwrote the model
+        before raising.
+        """
+        params = [Parameter(rng.normal(size=(2, 2))), Parameter(rng.normal(size=3))]
+        before = parameter_vector(params)
+        with pytest.raises(ValueError, match="does not match"):
+            set_parameters_from_vector(params, np.zeros(bad_size))
+        np.testing.assert_array_equal(parameter_vector(params), before)
+
     def test_clip_grad_norm_scales(self):
         param = Parameter(np.zeros(4))
         param.grad = np.full(4, 3.0)  # norm 6
