@@ -31,12 +31,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+from benchlib import provenance
 
 import repro.balancers  # noqa: F401 - triggers registration
 from repro.core import create_balancer
@@ -90,9 +90,7 @@ def run(steps: int, warmup: int) -> dict:
             "steps": steps,
             "warmup": warmup,
         },
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **provenance(),
         "results": results,
     }
 

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 from pathlib import Path
 
 import numpy as np
+from benchlib import provenance
 
 from repro.arch import HardParameterSharing, LinearHead, MLPEncoder
 from repro.balancers import EqualWeighting
@@ -91,9 +91,7 @@ def run(steps: int, warmup: int) -> dict:
             "steps": steps,
             "warmup": warmup,
         },
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **provenance(),
         "results": results,
     }
 

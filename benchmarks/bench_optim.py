@@ -34,12 +34,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import tracemalloc
 from pathlib import Path
 
 import numpy as np
+from benchlib import provenance
 
 from repro.arch import HardParameterSharing, LinearHead, MLPEncoder
 from repro.balancers import EqualWeighting
@@ -184,9 +184,7 @@ def run(steps: int, warmup: int, train_steps: int, train_warmup: int) -> dict:
                 "warmup": train_warmup,
             },
         },
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
+        **provenance(),
         "results": optimizer_results,
         "train_step": {
             "loop_seconds": loop_step,

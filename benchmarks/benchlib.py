@@ -1,0 +1,53 @@
+"""Shared helpers for the perf benchmark scripts.
+
+Every ``BENCH_*.json`` report carries the same provenance block so
+``benchmarks/trend.py`` can key speedup history by commit:
+
+- ``schema`` — report schema version (bumped when the result layout
+  changes incompatibly);
+- ``git_sha`` — the commit the numbers were measured at (``"unknown"``
+  outside a git checkout);
+- ``platform`` / ``python`` / ``numpy`` — the environment fingerprint.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+#: Version of the BENCH_*.json report layout (shared by all benchmarks).
+BENCH_SCHEMA = 2
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_sha(short: bool = True) -> str:
+    """Current commit SHA, or ``"unknown"`` when git is unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short" if short else "HEAD", "HEAD"]
+            if short
+            else ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def provenance() -> dict:
+    """The provenance block every benchmark report embeds."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_sha": git_sha(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }

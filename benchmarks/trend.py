@@ -1,0 +1,216 @@
+"""Bench-trend harness: speedup history keyed by git SHA, with a gate.
+
+Aggregates every ``BENCH_*.json`` report at the repository root into one
+``BENCH_trend.json`` history file, prints a comparison table of the
+current numbers against the committed baseline (the most recent history
+entry from a *different* commit), and exits non-zero when any tracked
+speedup regressed by more than ``--threshold`` (relative).
+
+Tracked metrics (label → speedup):
+
+- ``grad_collection/K{K}`` — multi-root vs per-task backward;
+- ``balancers/{name}/K{K}`` — vectorized vs loop pairwise kernels
+  (rows below the dispatch threshold, ``"vectorized_kernel": false``,
+  compare identical code and are skipped);
+- ``optim/{name}`` — flat vs loop optimizer step;
+- ``optim/train_step`` — arena vs no-arena whole train step.
+
+Speedup ratios are self-normalizing (both sides of each ratio run on the
+same machine in the same process), so history entries from different
+hosts remain comparable — which is why the gate tracks speedups rather
+than raw wall-clock seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trend.py           # compare + record
+    PYTHONPATH=src python benchmarks/trend.py --check   # compare only
+    PYTHONPATH=src python benchmarks/trend.py --threshold 0.2
+
+The default mode appends the current numbers to the history *after* the
+gate passes (re-runs at the same SHA replace that SHA's entry, so CI
+retries don't grow the file); ``--check`` never writes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from benchlib import REPO_ROOT, git_sha
+
+TREND_SCHEMA = 1
+TREND_FILE = "BENCH_trend.json"
+#: Relative regression the gate tolerates before failing (30%). Generous
+#: on purpose: shared CI runners are noisy and the ratios, while
+#: self-normalizing, still jitter; the gate exists to catch the 2x-grade
+#: regressions a bad kernel change causes, not 5% drift.
+DEFAULT_THRESHOLD = 0.30
+#: History entries kept (oldest dropped first).
+MAX_HISTORY = 200
+
+
+def extract_metrics(report: dict) -> dict[str, float]:
+    """Flatten one BENCH_*.json report into ``{label: speedup}``."""
+    kind = report.get("benchmark")
+    metrics: dict[str, float] = {}
+    if kind == "grad_collection":
+        for row in report.get("results", []):
+            metrics[f"grad_collection/K{row['num_tasks']}"] = float(row["speedup"])
+    elif kind == "balancers":
+        for row in report.get("results", []):
+            if not row.get("vectorized_kernel", True):
+                continue  # loop-dispatch rows measure noise around 1.0
+            metrics[f"balancers/{row['balancer']}/K{row['num_tasks']}"] = float(
+                row["speedup"]
+            )
+    elif kind == "optim":
+        for row in report.get("results", []):
+            metrics[f"optim/{row['optimizer']}"] = float(row["speedup"])
+        train = report.get("train_step")
+        if train:
+            metrics["optim/train_step"] = float(train["speedup"])
+    return metrics
+
+
+def collect_current(root: Path) -> dict[str, float]:
+    """Read every BENCH_*.json (except the trend file) under ``root``."""
+    metrics: dict[str, float] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name == TREND_FILE:
+            continue
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path.name}: {exc}", file=sys.stderr)
+            continue
+        metrics.update(extract_metrics(report))
+    return metrics
+
+
+def load_history(path: Path) -> list[dict]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if data.get("schema") != TREND_SCHEMA:
+        print(
+            f"warning: {path.name} has schema {data.get('schema')!r}, "
+            f"expected {TREND_SCHEMA}; starting a fresh history",
+            file=sys.stderr,
+        )
+        return []
+    return list(data.get("history", []))
+
+
+def save_history(path: Path, history: list[dict]) -> None:
+    payload = {"schema": TREND_SCHEMA, "history": history[-MAX_HISTORY:]}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def baseline_entry(history: list[dict], sha: str) -> dict | None:
+    """Most recent history entry not from ``sha`` (falls back to any)."""
+    for entry in reversed(history):
+        if entry.get("sha") != sha:
+            return entry
+    return history[-1] if history else None
+
+
+def compare(
+    current: dict[str, float], baseline: dict[str, float], threshold: float
+) -> tuple[list[list], list[str]]:
+    """Build comparison rows and the list of regressed labels."""
+    rows: list[list] = []
+    regressions: list[str] = []
+    for label in sorted(current):
+        now = current[label]
+        base = baseline.get(label)
+        if base is None:
+            rows.append([label, "-", f"{now:.2f}x", "new"])
+            continue
+        delta = (now - base) / base if base else 0.0
+        status = "ok"
+        if base > 0 and now < base * (1.0 - threshold):
+            status = "REGRESSED"
+            regressions.append(label)
+        rows.append([label, f"{base:.2f}x", f"{now:.2f}x", f"{delta:+.1%} {status}"])
+    for label in sorted(set(baseline) - set(current)):
+        rows.append([label, f"{baseline[label]:.2f}x", "-", "missing"])
+    return rows, regressions
+
+
+def format_rows(rows: list[list]) -> str:
+    headers = ["metric", "baseline", "current", "delta"]
+    cells = [headers] + [[str(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding BENCH_*.json files (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative speedup drop that fails the gate (default: 0.30)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the baseline only; never update the history",
+    )
+    args = parser.parse_args(argv)
+
+    current = collect_current(args.root)
+    if not current:
+        print("no BENCH_*.json reports found — run the benchmarks first", file=sys.stderr)
+        return 2
+
+    trend_path = args.root / TREND_FILE
+    history = load_history(trend_path)
+    sha = git_sha()
+    baseline = baseline_entry(history, sha)
+
+    if baseline is None:
+        print(f"no baseline in {TREND_FILE}; recording first entry at {sha}")
+        rows = [[label, "-", f"{value:.2f}x", "new"] for label, value in sorted(current.items())]
+        print(format_rows(rows))
+        regressions: list[str] = []
+    else:
+        print(
+            f"baseline: {baseline.get('sha', '?')}  current: {sha}  "
+            f"gate: -{args.threshold:.0%}"
+        )
+        rows, regressions = compare(current, baseline.get("metrics", {}), args.threshold)
+        print(format_rows(rows))
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed by more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    if not args.check:
+        history = [entry for entry in history if entry.get("sha") != sha]
+        history.append({"sha": sha, "ts": time.time(), "metrics": current})
+        save_history(trend_path, history)
+        print(f"recorded entry for {sha} in {trend_path.name} ({len(history)} total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,13 @@ Usage::
     python -m repro table1 --telemetry out.jsonl   # stream telemetry events
     python -m repro report out.jsonl               # pretty-print a saved run
 
+Flight recorder (see DESIGN.md, "Flight recorder")::
+
+    python -m repro train --balancer mocograd --steps 200 \
+        --profile trace.json --record-dynamics --telemetry run.jsonl
+    python -m repro report run.jsonl --dynamics    # per-step GCD/λ sparklines
+    # open https://ui.perfetto.dev (or chrome://tracing) and load trace.json
+
 Outputs the same rows the benchmark harness writes to
 ``benchmarks/results/``; this entry point is the scriptable path.
 ``--telemetry PATH`` installs a process-wide JSONL sink: every trainer
@@ -97,13 +104,76 @@ ANALYSIS_RUNNERS = {
 }
 
 
+def _run_train(args) -> str:
+    """Flight-recorder demo run: synthetic MTL training, fully instrumented."""
+    import numpy as np
+
+    from .core.balancer import available_balancers, create_balancer
+    from .data import make_synthetic_mtl
+    from .training import MTLTrainer
+
+    if args.balancer not in available_balancers():
+        raise SystemExit(
+            f"unknown balancer {args.balancer!r}; available: {available_balancers()}"
+        )
+    # 80 samples/step: batch 64 over the ~80% train split, so one epoch
+    # holds at least --steps batches.
+    benchmark = make_synthetic_mtl(
+        num_tasks=args.tasks,
+        num_samples=max(80 * args.steps, 512),
+        # Conflicting tasks (negative cosine) so there are dynamics worth
+        # recording, clamped to the K-task feasibility bound.
+        pairwise_cosine=max(-0.2, -0.9 / max(args.tasks - 1, 1)),
+        seed=args.seed,
+    )
+    model = benchmark.build_model("hps", np.random.default_rng(args.seed))
+    trainer = MTLTrainer(
+        model,
+        benchmark.tasks,
+        create_balancer(args.balancer, seed=args.seed),
+        seed=args.seed,
+        profile=args.profile,
+        record_dynamics=args.record_dynamics,
+    )
+    trainer.fit(
+        benchmark.train, epochs=1, batch_size=64, max_steps_per_epoch=args.steps
+    )
+    lines = [
+        f"trained {args.balancer} on {benchmark.name} — "
+        f"{trainer.step_count} steps, K={args.tasks}",
+        "final losses: "
+        + ", ".join(
+            f"{task.name}={loss:.4f}"
+            for task, loss in zip(trainer.tasks, trainer.history.step_losses[-1])
+        ),
+    ]
+    if trainer.profiler is not None:
+        lines += ["", trainer.profiler.format_self_times()]
+        if args.profile:
+            lines.append(
+                f"\nwrote Chrome trace to {args.profile} — load it in "
+                "chrome://tracing or https://ui.perfetto.dev"
+            )
+    if trainer.recorder is not None:
+        recorder = trainer.recorder
+        lines.append(
+            f"recorded {len(recorder)} dynamics samples "
+            f"({recorder.mode}, capacity {recorder.capacity}, seen {recorder.seen})"
+        )
+        if args.telemetry:
+            lines.append(
+                f"render them with: python -m repro report {args.telemetry} --dynamics"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     experiments = sorted(set(REGISTRY) | set(ANALYSIS_RUNNERS))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of the MoCoGrad paper.",
     )
-    parser.add_argument("experiment", choices=experiments + ["list", "report"])
+    parser.add_argument("experiment", choices=experiments + ["list", "report", "train"])
     parser.add_argument(
         "path",
         nargs="?",
@@ -122,6 +192,28 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="stream telemetry events (spans, metrics) to this JSONL file",
     )
+    parser.add_argument(
+        "--dynamics",
+        action="store_true",
+        help="report: render per-step conflict-dynamics sparklines instead "
+        "of the timing/conflict digest",
+    )
+    train = parser.add_argument_group("train subcommand (flight-recorder demo)")
+    train.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="train: export a Chrome trace_event JSON timeline to PATH",
+    )
+    train.add_argument(
+        "--record-dynamics",
+        action="store_true",
+        help="train: record per-step conflict dynamics (stream with --telemetry)",
+    )
+    train.add_argument("--balancer", default="mocograd", help="train: balancer name")
+    train.add_argument("--steps", type=int, default=200, help="train: optimization steps")
+    train.add_argument("--tasks", type=int, default=4, help="train: task count K")
+    train.add_argument("--seed", type=int, default=0, help="train: RNG seed")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -139,7 +231,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"cannot read telemetry file: {exc}")
         except ValueError as exc:
             parser.error(str(exc))
-        print(obs.format_report(obs.summarize_events(events)))
+        if args.dynamics:
+            print(obs.format_dynamics(obs.summarize_dynamics(events)))
+        else:
+            print(obs.format_report(obs.summarize_events(events)))
         return 0
 
     sink = None
@@ -159,7 +254,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     try:
         methods = tuple(args.methods.split(",")) if args.methods else METHODS
-        if args.experiment in REGISTRY:
+        if args.experiment == "train":
+            print(_run_train(args))
+        elif args.experiment in REGISTRY:
             print(_run_table(args.experiment, args.preset, methods))
         else:
             print(ANALYSIS_RUNNERS[args.experiment](args.preset, methods))

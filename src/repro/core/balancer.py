@@ -155,6 +155,17 @@ class GradientBalancer:
         self._record_conflict_telemetry(self._stats)
         return grads, losses
 
+    def dynamics(self) -> dict:
+        """Balancer-internal state for the flight recorder (per step).
+
+        Called by :class:`~repro.training.trainer.MTLTrainer` right after
+        :meth:`balance` when dynamics recording is on.  The base class has
+        no internal dynamics; stateful balancers override this to expose
+        theirs (MoCoGrad reports λ and per-task momentum norms).  Values
+        must be JSON-ready floats or lists of floats.
+        """
+        return {}
+
     def _record_conflict_telemetry(self, stats: GradStats | np.ndarray) -> None:
         """Count conflicting gradient pairs (GCD > 1 ⇔ negative cosine).
 

@@ -151,6 +151,50 @@ class GradStats:
         return self._conflict_mask
 
     # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Cheap per-step dynamics export (feeds the flight recorder).
+
+        O(K²) given the cached Gram/cosine products — no extra ``d``-length
+        work beyond what the balancer's own telemetry already forced.
+        Returns plain floats/lists (JSON-ready):
+
+        - ``grad_norms`` — per-task gradient norms ``‖g_k‖`` (length K);
+        - ``gcd_pairs`` — the upper triangle of the pairwise GCD matrix
+          (Definition 3), row-major over i < j (length K(K−1)/2);
+        - ``gcd_mean`` / ``gcd_max`` and ``cos_min`` / ``cos_max`` —
+          conflict-geometry extrema over distinct pairs;
+        - ``conflict_fraction`` — fraction of pairs with GCD > 1.
+
+        With K < 2 the pairwise fields are empty/zero.
+        """
+        num_tasks = self.num_tasks
+        sample: dict = {"grad_norms": self.norms.tolist()}
+        if num_tasks < 2:
+            sample.update(
+                gcd_pairs=[], gcd_mean=0.0, gcd_max=0.0,
+                cos_min=0.0, cos_max=0.0, conflict_fraction=0.0,
+            )
+            return sample
+        # Scalar Python over the cached K×K cosine: for the small K this
+        # runs at (K ≤ 16 across the paper's benchmarks), plain float math
+        # beats the dispatch cost of a dozen tiny numpy ops — this is a
+        # per-step hot path when dynamics recording is on.
+        rows = self.cosine.tolist()
+        cosines = [rows[i][j] for i in range(num_tasks) for j in range(i + 1, num_tasks)]
+        # cos < 0 ⇔ gram < 0 for nonzero pairs, and dead rows/columns are
+        # exactly 0 — so this matches `conflict_mask` without forcing it.
+        conflicts = sum(1 for c in cosines if c < 0.0)
+        pairs = len(cosines)
+        sample.update(
+            gcd_pairs=[1.0 - c for c in cosines],
+            gcd_mean=1.0 - sum(cosines) / pairs,
+            gcd_max=1.0 - min(cosines),
+            cos_min=min(cosines),
+            cos_max=max(cosines),
+            conflict_fraction=conflicts / pairs,
+        )
+        return sample
+
     def conflict_counts(self) -> tuple[int, int]:
         """``(pairs, conflicts)`` over distinct (unordered) task pairs."""
         num_tasks = self.num_tasks

@@ -233,6 +233,20 @@ class MoCoGrad(GradientBalancer):
             effective.astype(np.float64) @ (scale[:, None] * previous_momentum)
         )
 
+    def dynamics(self) -> dict:
+        """Flight-recorder hook: λ in effect plus per-task momentum norms.
+
+        ``lambda`` follows :meth:`current_calibration` (so Corollary 1's
+        decay schedule is visible step by step); ``momentum_norms`` are
+        ``‖m_k^{(t)}‖`` *after* this step's Eq. (9) update.
+        """
+        sample: dict = {"lambda": self.current_calibration()}
+        if self._momentum is not None:
+            sample["momentum_norms"] = [
+                float(n) for n in np.linalg.norm(self._momentum, axis=1)
+            ]
+        return sample
+
     def current_calibration(self) -> float:
         """λ at the current step (λ/t^p under Corollary 1's schedule)."""
         if self.calibration_decay is None:

@@ -10,6 +10,10 @@ Three layers, smallest on top:
 - **Sinks** (:mod:`repro.obs.sinks`): in-memory (tests), JSONL (runs),
   and null (overhead measurement) event consumers, plus the
   :mod:`repro.obs.report` formatter for saved JSONL files.
+- **Flight recorder** (:mod:`repro.obs.profiler`,
+  :mod:`repro.obs.recorder`): Chrome ``trace_event`` timeline export
+  with per-phase self-time attribution, and a bounded-memory per-step
+  conflict-dynamics recorder rendered by ``repro report --dynamics``.
 
 :class:`Telemetry` bundles the three; ``NULL_TELEMETRY`` is the shared
 no-op used when instrumentation is off.  See DESIGN.md ("Observability")
@@ -17,7 +21,15 @@ for the event schema and README.md for usage.
 """
 
 from .metrics import SECONDS_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
-from .report import format_report, load_events, summarize_events
+from .profiler import Profiler
+from .recorder import DynamicsRecorder
+from .report import (
+    format_dynamics,
+    format_report,
+    load_events,
+    summarize_dynamics,
+    summarize_events,
+)
 from .sinks import InMemorySink, JsonlSink, NullSink, Sink
 from .telemetry import (
     NULL_TELEMETRY,
@@ -48,4 +60,8 @@ __all__ = [
     "load_events",
     "summarize_events",
     "format_report",
+    "Profiler",
+    "DynamicsRecorder",
+    "summarize_dynamics",
+    "format_dynamics",
 ]

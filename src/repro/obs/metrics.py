@@ -121,6 +121,38 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Bucket-resolution percentile estimate (e.g. ``percentile(99)``).
+
+        Pinned semantics (see ``tests/obs/test_metrics.py``):
+
+        - Returns the smallest bucket *upper bound* covering at least
+          ``ceil(p/100 · count)`` observations — an upper estimate at the
+          histogram's bucket resolution, never an interpolated value.
+        - An **empty** histogram returns ``nan`` (there is no meaningful
+          latency to report; callers must not confuse "no data" with 0).
+        - Values exactly **on a bucket boundary** count toward that
+          bound's own bucket (Prometheus ``le`` semantics), so
+          ``percentile`` of a histogram holding only boundary values
+          returns the boundary itself.
+        - Values **below the first bound** (including negative values)
+          report the first bound; values above the last bound report
+          ``inf`` — the histogram cannot resolve beyond its range.
+        - ``p = 0`` reports the first non-empty bucket's bound; ``p``
+          outside [0, 100] raises ``ValueError``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]; got {p}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        cumulative = 0
+        for bound, count in zip(self.buckets + (math.inf,), self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return bound
+        return math.inf  # unreachable: counts always sum to self.count
+
     def snapshot(self) -> dict:
         """Serializable state: kind, name, labels, count, sum, buckets."""
         return {

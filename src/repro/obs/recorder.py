@@ -1,0 +1,159 @@
+"""Bounded-memory recorder of per-step training dynamics.
+
+The paper's claims are about *dynamics* — how conflict geometry (pairwise
+GCD, cosine extrema) and MoCoGrad's calibration state (λ, momentum norms)
+evolve over training — but telemetry counters and gauges only keep
+end-of-run aggregates.  :class:`DynamicsRecorder` keeps an explicit
+per-step time series under a hard memory bound: it holds at most
+``capacity`` samples no matter how many steps are offered, so a
+100k-step run costs the same memory as a 1k-step run (tracemalloc-gated
+in ``tests/obs/test_recorder.py``).
+
+Three downsampling policies (``mode=``):
+
+- ``"stride"`` (default) — deterministic decimation: keep every n-th
+  sample, doubling n each time the buffer fills.  Retained steps stay
+  *uniformly spaced over the whole run*, which is what trend plots of
+  λ / GCD want.
+- ``"reservoir"`` — Algorithm R: a uniform random sample of all steps
+  seen so far; unbiased for distributional summaries.
+- ``"ring"`` — keep the most recent ``capacity`` steps; the classic
+  flight-recorder window for post-mortems.
+
+Samples are plain dicts of floats / lists of floats (the shape
+:meth:`repro.core.gradstats.GradStats.snapshot` produces).  Persistence
+goes through the existing sink API: :meth:`to_events` renders one
+``{"type": "dynamics", "step": ..., ...}`` event per retained sample
+plus a leading ``dynamics_meta`` event, which
+``python -m repro report --dynamics`` turns back into per-metric
+sparkline tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["DynamicsRecorder"]
+
+MODES = ("stride", "reservoir", "ring")
+
+
+class DynamicsRecorder:
+    """Records per-step metric samples in O(capacity) memory.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained samples (≥ 2).
+    mode:
+        ``"stride"``, ``"reservoir"``, or ``"ring"`` — see the module
+        docstring.
+    seed:
+        Seeds reservoir sampling (ignored by the other modes).
+    """
+
+    def __init__(self, capacity: int = 1024, mode: str = "stride", seed: int = 0) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be ≥ 2; got {capacity}")
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}; got {mode!r}")
+        self.capacity = int(capacity)
+        self.mode = mode
+        self._rng = np.random.default_rng(seed)
+        self._seen = 0
+        self._stride = 1
+        self._buffer: list[dict] | deque[dict]
+        self._buffer = deque(maxlen=self.capacity) if mode == "ring" else []
+
+    # ------------------------------------------------------------------
+    @property
+    def seen(self) -> int:
+        """Total number of samples offered (recorded or not)."""
+        return self._seen
+
+    @property
+    def stride(self) -> int:
+        """Current decimation stride (``"stride"`` mode; 1 otherwise)."""
+        return self._stride
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    def record(self, step: int, sample) -> None:
+        """Offer one per-step sample; the policy decides whether it stays.
+
+        ``sample`` is a mapping, or a zero-argument callable returning one
+        — the callable is invoked only if the policy retains this offer,
+        so per-step producers (the trainer's GradStats snapshot) pay
+        nothing on the offers a high-stride recorder discards.
+        """
+        index = self._seen
+        self._seen += 1
+        if self.mode == "ring":
+            self._buffer.append(self._entry(step, sample))
+            return
+        if self.mode == "reservoir":
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(self._entry(step, sample))
+            else:
+                slot = int(self._rng.integers(0, self._seen))
+                if slot < self.capacity:
+                    self._buffer[slot] = self._entry(step, sample)
+            return
+        # stride: deterministic decimation with doubling
+        if index % self._stride != 0:
+            return
+        if len(self._buffer) >= self.capacity:
+            # Keep even positions: retained entries are consecutive
+            # multiples of the old stride, so positions 0, 2, 4, … are
+            # exactly the multiples of the doubled stride.
+            del self._buffer[1::2]
+            self._stride *= 2
+            if index % self._stride != 0:
+                return
+        self._buffer.append(self._entry(step, sample))
+
+    @staticmethod
+    def _entry(step: int, sample) -> dict:
+        if callable(sample):
+            sample = sample()
+        return {"step": int(step), **sample}
+
+    def samples(self) -> list[dict]:
+        """Retained samples in step order (each ``{"step": n, **sample}``)."""
+        return sorted(self._buffer, key=lambda entry: entry["step"])
+
+    def clear(self) -> None:
+        """Drop all samples and reset the downsampling state."""
+        self._buffer = deque(maxlen=self.capacity) if self.mode == "ring" else []
+        self._seen = 0
+        self._stride = 1
+
+    # ------------------------------------------------------------------
+    def to_events(self, meta: Mapping | None = None) -> list[dict]:
+        """Sink-ready events: one ``dynamics_meta`` then one per sample.
+
+        ``meta`` merges extra context (e.g. task names) into the meta
+        event.  Repeated flushes of a still-recording instance are safe:
+        the report layer dedupes ``dynamics`` events by step, last wins.
+        """
+        head = {
+            "type": "dynamics_meta",
+            "capacity": self.capacity,
+            "mode": self.mode,
+            "seen": self._seen,
+            "recorded": len(self._buffer),
+        }
+        if meta:
+            head.update(meta)
+        return [head] + [{"type": "dynamics", **entry} for entry in self.samples()]
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicsRecorder(mode={self.mode!r}, capacity={self.capacity}, "
+            f"recorded={len(self._buffer)}, seen={self._seen})"
+        )

@@ -21,7 +21,13 @@ import json
 import statistics
 from typing import Iterable, Mapping
 
-__all__ = ["load_events", "summarize_events", "format_report"]
+__all__ = [
+    "load_events",
+    "summarize_events",
+    "format_report",
+    "summarize_dynamics",
+    "format_dynamics",
+]
 
 
 def load_events(path: str) -> list[dict]:
@@ -201,3 +207,120 @@ def format_report(summary: Mapping) -> str:
         sections.append("\n".join(lines))
 
     return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Conflict-dynamics rendering (``repro report --dynamics``)
+# ----------------------------------------------------------------------
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int = 48) -> str:
+    """Render a series as unicode blocks, mean-binned to ``width`` chars."""
+    finite = [v for v in values if v == v and abs(v) != float("inf")]
+    if not finite:
+        return ""
+    if len(values) > width:
+        binned = []
+        for i in range(width):
+            chunk = values[i * len(values) // width : (i + 1) * len(values) // width]
+            chunk = chunk or [values[-1]]
+            binned.append(sum(chunk) / len(chunk))
+        values = binned
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if value != value or abs(value) == float("inf"):
+            chars.append(" ")
+            continue
+        level = 0 if span == 0 else int((value - low) / span * (len(_SPARK_BLOCKS) - 1))
+        chars.append(_SPARK_BLOCKS[level])
+    return "".join(chars)
+
+
+def _pair_labels(tasks: list[str]) -> list[str]:
+    """Row-major i < j pair labels matching GradStats.snapshot ordering."""
+    return [
+        f"{tasks[i]}·{tasks[j]}"
+        for i in range(len(tasks))
+        for j in range(i + 1, len(tasks))
+    ]
+
+
+def summarize_dynamics(events: Iterable[Mapping]) -> dict:
+    """Aggregate ``dynamics`` events into labelled per-metric series.
+
+    Samples are deduped by step (last event wins, so repeated recorder
+    flushes are safe).  List-valued sample fields expand into one series
+    per element: per-task fields (length K) are labelled with task names
+    from the ``dynamics_meta`` event, ``gcd_pairs`` with ``taskA·taskB``
+    pair labels; without matching metadata they fall back to ``name[k]``.
+
+    Returns ``{"meta": {...}, "steps": [...], "series": {label: [(step,
+    value), ...]}}`` with series sorted by step.
+    """
+    meta: dict = {}
+    by_step: dict[int, dict] = {}
+    for event in events:
+        etype = event.get("type")
+        if etype == "dynamics_meta":
+            meta = {k: v for k, v in event.items() if k != "type"}
+        elif etype == "dynamics":
+            step = int(event.get("step", 0))
+            by_step[step] = {
+                k: v for k, v in event.items() if k not in ("type", "step", "tid", "ts")
+            }
+
+    tasks = list(meta.get("tasks") or [])
+    pair_labels = _pair_labels(tasks)
+    series: dict[str, list[tuple[int, float]]] = {}
+    for step in sorted(by_step):
+        for name, value in by_step[step].items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                series.setdefault(name, []).append((step, float(value)))
+            elif isinstance(value, (list, tuple)):
+                for index, element in enumerate(value):
+                    if not isinstance(element, (int, float)):
+                        continue
+                    if name == "gcd_pairs" and index < len(pair_labels):
+                        label = f"gcd[{pair_labels[index]}]"
+                    elif index < len(tasks) and len(value) == len(tasks):
+                        label = f"{name}[{tasks[index]}]"
+                    else:
+                        label = f"{name}[{index}]"
+                    series.setdefault(label, []).append((step, float(element)))
+    return {"meta": meta, "steps": sorted(by_step), "series": series}
+
+
+def format_dynamics(summary: Mapping) -> str:
+    """Render per-metric sparkline tables from :func:`summarize_dynamics`."""
+    series: dict = summary["series"]
+    if not series:
+        return (
+            "No dynamics events found — run training with dynamics recording on\n"
+            "(python -m repro train --record-dynamics --telemetry out.jsonl)."
+        )
+    meta = summary.get("meta") or {}
+    steps = summary["steps"]
+    header = (
+        f"Conflict dynamics — {len(steps)} samples over steps "
+        f"{steps[0]}–{steps[-1]}"
+    )
+    if meta:
+        header += (
+            f" (mode={meta.get('mode', '?')}, capacity={meta.get('capacity', '?')}, "
+            f"seen={meta.get('seen', '?')})"
+        )
+    name_width = max(len(name) for name in series)
+    lines = [
+        header,
+        f"{'metric':<{name_width}} {'first':>10} {'min':>10} {'max':>10} {'last':>10}  trend",
+    ]
+    for name in sorted(series):
+        values = [value for _step, value in series[name]]
+        lines.append(
+            f"{name:<{name_width}} {values[0]:>10.4f} {min(values):>10.4f} "
+            f"{max(values):>10.4f} {values[-1]:>10.4f}  {_sparkline(values)}"
+        )
+    return "\n".join(lines)

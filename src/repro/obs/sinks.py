@@ -14,8 +14,10 @@ metadata.  Three implementations cover the use cases:
 
 from __future__ import annotations
 
+import atexit
 import json
 import threading
+import weakref
 from typing import IO, Mapping
 
 __all__ = ["Sink", "InMemorySink", "JsonlSink", "NullSink"]
@@ -62,6 +64,15 @@ class JsonlSink(Sink):
     Writes are serialized with a lock so concurrent trainers can share one
     sink; lines are flushed per event — a crashed run keeps every event
     emitted before the crash.
+
+    Closure is deterministic: use the sink as a context manager (the
+    :class:`Sink` base provides ``__enter__``/``__exit__``), and every
+    open file-owning sink is additionally closed by an ``atexit`` hook —
+    a run that never reaches its ``close()`` (an uncaught exception, a
+    ``sys.exit`` mid-epoch) still leaves a complete, parseable JSONL
+    file.  A hard ``SIGKILL`` bypasses ``atexit``, but the per-event
+    flush means only the event being written at kill time can be torn
+    (and :func:`repro.obs.report.load_events` tolerates a torn tail).
     """
 
     def __init__(self, target: str | IO[str]) -> None:
@@ -73,6 +84,8 @@ class JsonlSink(Sink):
             self._owns_file = False
         self._lock = threading.Lock()
         self.closed = False
+        if self._owns_file:
+            _open_sinks.add(self)
 
     def emit(self, event: Mapping) -> None:
         line = json.dumps(event, ensure_ascii=False, sort_keys=True, default=_jsonify)
@@ -89,6 +102,22 @@ class JsonlSink(Sink):
             self.closed = True
             if self._owns_file:
                 self._file.close()
+        _open_sinks.discard(self)
+
+
+#: File-owning JsonlSinks not yet closed; weak references so an abandoned
+#: sink can still be garbage-collected (its file closes on finalization).
+_open_sinks: "weakref.WeakSet[JsonlSink]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_open_sinks() -> None:
+    """atexit fallback: flush+close every file-owning sink still open."""
+    for sink in list(_open_sinks):
+        try:
+            sink.close()
+        except Exception:  # interpreter is shutting down; never raise
+            pass
 
 
 class NullSink(Sink):

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -24,7 +25,16 @@ __all__ = ["SpanRecord", "Tracer"]
 
 @dataclass
 class SpanRecord:
-    """One closed span: identity, position in the tree, and timing."""
+    """One closed span: identity, position in the tree, and timing.
+
+    ``perf_start`` is the ``time.perf_counter()`` reading at span entry —
+    the monotonic clock the duration is measured on, so consumers that
+    need a consistent timeline (the Chrome-trace exporter) can place
+    nested spans without wall-clock skew.  ``memory_delta`` is the
+    tracemalloc current-size delta across the span in bytes (``None``
+    unless the owning tracer has ``track_memory`` on and tracemalloc is
+    tracing).  ``error`` marks spans whose body raised.
+    """
 
     name: str
     path: str
@@ -32,18 +42,27 @@ class SpanRecord:
     start_time: float  # wall-clock epoch seconds (time.time)
     duration: float  # elapsed seconds (perf_counter delta)
     labels: dict[str, str] = field(default_factory=dict)
+    perf_start: float = 0.0  # perf_counter at entry (monotonic timeline)
+    memory_delta: int | None = None  # tracemalloc bytes delta, if tracked
+    error: bool = False  # the span body raised
 
     def to_event(self) -> dict:
         """The JSONL event this span serializes to."""
-        return {
+        event = {
             "type": "span",
             "name": self.name,
             "path": self.path,
             "depth": self.depth,
             "ts": self.start_time,
+            "perf_ts": self.perf_start,
             "seconds": self.duration,
             "labels": self.labels,
         }
+        if self.memory_delta is not None:
+            event["mem_bytes"] = self.memory_delta
+        if self.error:
+            event["error"] = True
+        return event
 
 
 class _SpanContext:
@@ -58,6 +77,7 @@ class _SpanContext:
         "duration",
         "_start_wall",
         "_start_perf",
+        "_start_mem",
     )
 
     def __init__(self, tracer: Tracer, name: str, labels: dict[str, str]) -> None:
@@ -67,20 +87,32 @@ class _SpanContext:
         self.path = ""
         self.depth = 0
         self.duration = 0.0
+        self._start_mem: int | None = None
 
     def __enter__(self) -> _SpanContext:
         stack = self._tracer._stack()
         self.depth = len(stack)
         self.path = f"{stack[-1].path}/{self.name}" if stack else self.name
         stack.append(self)
+        if self._tracer.track_memory and tracemalloc.is_tracing():
+            self._start_mem = tracemalloc.get_traced_memory()[0]
         self._start_wall = time.time()
         self._start_perf = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # Duration is taken before any unwind bookkeeping so a raising
+        # body still gets an accurate wall-clock measurement.
         duration = self.duration = time.perf_counter() - self._start_perf
+        memory_delta = None
+        if self._start_mem is not None and tracemalloc.is_tracing():
+            memory_delta = tracemalloc.get_traced_memory()[0] - self._start_mem
         stack = self._tracer._stack()
         if not stack or stack[-1] is not self:
+            if exc_type is not None:
+                # Never mask the body's exception with a nesting complaint;
+                # the unwind already explains the out-of-order closure.
+                return
             raise RuntimeError(
                 f"span {self.path!r} closed out of order (active: "
                 f"{stack[-1].path if stack else None!r})"
@@ -94,6 +126,9 @@ class _SpanContext:
                 start_time=self._start_wall,
                 duration=duration,
                 labels=self.labels,
+                perf_start=self._start_perf,
+                memory_delta=memory_delta,
+                error=exc_type is not None,
             )
         )
 
@@ -108,11 +143,20 @@ class Tracer:
     order statistics that fixed-bucket histograms cannot recover.
     """
 
-    def __init__(self, on_close: Callable[[SpanRecord], None] | None = None) -> None:
+    def __init__(
+        self,
+        on_close: Callable[[SpanRecord], None] | None = None,
+        track_memory: bool = False,
+    ) -> None:
         self._local = threading.local()
         self._durations: dict[str, list[float]] = {}
         self._lock = threading.Lock()
         self.on_close = on_close
+        #: when True (and ``tracemalloc`` is tracing), every span records
+        #: its tracemalloc current-size delta as ``SpanRecord.memory_delta``.
+        #: Mutable at runtime — the profiler flips it on when attached with
+        #: memory tracking requested.
+        self.track_memory = track_memory
 
     # ------------------------------------------------------------------
     def _stack(self) -> list[_SpanContext]:

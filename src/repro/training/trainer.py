@@ -48,6 +48,12 @@ plus ``train_steps_total`` / ``train_epochs_total`` counters and per-task
 ``backward_seconds_total`` scalar survive as *deprecated* properties backed
 by span data — note ``backward_seconds_total`` now honestly reports
 backward-only time (it previously accumulated whole steps).
+
+The flight recorder builds on the same spans: ``profile=`` exports the
+step timeline as Chrome ``trace_event`` JSON and ``record_dynamics=``
+keeps a bounded per-step series of conflict geometry (GCD, cosine
+extrema, grad norms) and balancer state (MoCoGrad λ / momentum norms) —
+see DESIGN.md ("Flight recorder").
 """
 
 from __future__ import annotations
@@ -65,7 +71,7 @@ from ..nn.module import Parameter
 from ..nn.optim import SGD, Adam, AdaGrad, Optimizer, RMSProp
 from ..nn.tensor import Tensor, backward_multi
 from ..nn.utils import grad_vector, grad_vector_from_slots, set_grad_from_vector
-from ..obs import NULL_TELEMETRY, Telemetry, default_sinks
+from ..obs import NULL_TELEMETRY, DynamicsRecorder, Profiler, Telemetry, default_sinks
 from .history import History
 
 __all__ = ["MTLTrainer"]
@@ -160,6 +166,23 @@ class MTLTrainer:
         private one attached to the process-wide default sinks (installed
         by ``python -m repro --telemetry``).  Pass
         ``repro.obs.NULL_TELEMETRY`` to disable instrumentation entirely.
+    profile:
+        Flight-recorder timeline profiling.  A path string enables
+        profiling and exports a Chrome ``trace_event`` JSON there when
+        :meth:`fit` completes (load it in ``chrome://tracing`` or
+        Perfetto); a :class:`repro.obs.Profiler` instance attaches as-is
+        (export it yourself).  Requires enabled telemetry.
+    record_dynamics:
+        Per-step conflict-dynamics recording into a bounded
+        :class:`repro.obs.DynamicsRecorder` (``trainer.recorder``):
+        ``True`` for the default 1024-sample stride recorder, an int for
+        a custom capacity, or a preconfigured recorder instance.  Each
+        step samples the balancer's :class:`~repro.core.gradstats.GradStats`
+        (per-task grad norms, pairwise GCD, cosine extrema) plus the
+        balancer's :meth:`~repro.core.balancer.GradientBalancer.dynamics`
+        state (MoCoGrad: λ, momentum norms) and per-task losses;
+        :meth:`fit` flushes the retained samples to the telemetry sinks
+        as ``dynamics`` events (``repro report --dynamics`` renders them).
     """
 
     def __init__(
@@ -177,6 +200,8 @@ class MTLTrainer:
         telemetry: Telemetry | None = None,
         use_arena: bool = True,
         step_mode: str = "auto",
+        profile: str | Profiler | None = None,
+        record_dynamics: bool | int | DynamicsRecorder = False,
     ) -> None:
         if mode not in (SINGLE_INPUT, MULTI_INPUT):
             raise ValueError(f"mode must be {SINGLE_INPUT!r} or {MULTI_INPUT!r}")
@@ -215,6 +240,25 @@ class MTLTrainer:
         self.telemetry = telemetry if telemetry is not None else Telemetry(sinks=default_sinks())
         self.balancer.telemetry = self.telemetry
         self._step_labels = {"method": self.balancer.name, "mode": self.mode}
+        #: Chrome-trace profiler (``profile=`` kwarg), or None.
+        self.profiler: Profiler | None = None
+        self._profile_path: str | None = None
+        if profile is not None:
+            if isinstance(profile, Profiler):
+                self.profiler = profile
+            else:
+                self._profile_path = str(profile)
+                self.profiler = Profiler()
+            self.profiler.attach(self.telemetry)
+        #: bounded per-step dynamics recorder (``record_dynamics=``), or None.
+        self.recorder: DynamicsRecorder | None = None
+        if record_dynamics:
+            if isinstance(record_dynamics, DynamicsRecorder):
+                self.recorder = record_dynamics
+            elif record_dynamics is True:
+                self.recorder = DynamicsRecorder()
+            else:
+                self.recorder = DynamicsRecorder(capacity=int(record_dynamics))
         #: per-step ``(mean_gcd, conflict_fraction)`` when tracking is on
         self.conflict_stats: list[tuple[float, float]] = []
         # Preallocated (K, d) per-task gradient workspace, reused across
@@ -388,6 +432,28 @@ class MTLTrainer:
             telemetry.counter("train_steps_total", **self._step_labels).inc()
             for task, loss in zip(self.tasks, losses):
                 telemetry.gauge("train_loss", task=task.name).set(float(loss))
+        if self.recorder is not None:
+            self._record_dynamics_sample(losses)
+
+    def _record_dynamics_sample(self, losses: np.ndarray) -> None:
+        """Offer this step's conflict-dynamics sample to the recorder.
+
+        Reads the :class:`~repro.core.gradstats.GradStats` the balancer
+        built during ``balance()`` (no extra ``d``-length work) plus the
+        balancer's own dynamics hook; keyed by the 1-based step index.
+        The sample dict is built lazily — a high-stride recorder that
+        discards this step never pays for the snapshot.
+        """
+
+        def build() -> dict:
+            sample: dict = {"losses": [float(loss) for loss in losses]}
+            stats = self.balancer.gradstats
+            if stats is not None:
+                sample.update(stats.snapshot())
+            sample.update(self.balancer.dynamics())
+            return sample
+
+        self.recorder.record(self.step_count, build)
 
     def _record_conflicts(self, grads: np.ndarray) -> None:
         if not self.track_conflicts:
@@ -452,8 +518,24 @@ class MTLTrainer:
             metrics = self.evaluate(eval_data) if eval_data is not None else None
             self.history.close_epoch(metrics)
             self.telemetry.counter("train_epochs_total", **self._step_labels).inc()
+        self.flush_dynamics()
         self.telemetry.flush()
+        if self.profiler is not None and self._profile_path is not None:
+            self.profiler.export_chrome_trace(self._profile_path)
         return self.history
+
+    def flush_dynamics(self) -> None:
+        """Emit the recorder's retained samples to the telemetry sinks.
+
+        Called automatically at the end of :meth:`fit`; call it directly
+        when stepping the trainer manually.  Safe to call repeatedly —
+        the report layer dedupes dynamics events by step.
+        """
+        if self.recorder is None or not self.telemetry.enabled:
+            return
+        meta = {"tasks": [task.name for task in self.tasks]}
+        for event in self.recorder.to_events(meta=meta):
+            self.telemetry.emit(event)
 
     def _run_epoch_single(self, dataset: ArrayDataset, batch_size: int, max_steps) -> None:
         loader = DataLoader(dataset, batch_size, rng=self.rng)

@@ -1,0 +1,189 @@
+"""Unit tests for the bench-trend harness (benchmarks/trend.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def trend():
+    """Load benchmarks/trend.py as a module (it is a script, not a package)."""
+    sys.path.insert(0, str(BENCHMARKS_DIR))  # so `from benchlib import ...` resolves
+    try:
+        spec = importlib.util.spec_from_file_location("trend", BENCHMARKS_DIR / "trend.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+
+def _write_reports(root: Path, grad_speedup=1.8, adam_speedup=6.0):
+    (root / "BENCH_grad_collection.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "grad_collection",
+                "schema": 2,
+                "git_sha": "aaaaaaa",
+                "results": [
+                    {"num_tasks": 2, "speedup": 1.2},
+                    {"num_tasks": 8, "speedup": grad_speedup},
+                ],
+            }
+        )
+    )
+    (root / "BENCH_balancers.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "balancers",
+                "schema": 2,
+                "results": [
+                    {"balancer": "mocograd", "num_tasks": 8, "speedup": 2.0,
+                     "vectorized_kernel": True},
+                    {"balancer": "mocograd", "num_tasks": 2, "speedup": 0.9,
+                     "vectorized_kernel": False},
+                ],
+            }
+        )
+    )
+    (root / "BENCH_optim.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "optim",
+                "schema": 2,
+                "results": [{"optimizer": "adam", "speedup": adam_speedup}],
+                "train_step": {"speedup": 1.2},
+            }
+        )
+    )
+
+
+class TestExtraction:
+    def test_labels_and_skipped_loop_dispatch_rows(self, trend, tmp_path):
+        _write_reports(tmp_path)
+        metrics = trend.collect_current(tmp_path)
+        assert metrics == {
+            "grad_collection/K2": 1.2,
+            "grad_collection/K8": 1.8,
+            "balancers/mocograd/K8": 2.0,  # vectorized_kernel false row skipped
+            "optim/adam": 6.0,
+            "optim/train_step": 1.2,
+        }
+
+    def test_trend_file_and_garbage_ignored(self, trend, tmp_path):
+        _write_reports(tmp_path)
+        (tmp_path / "BENCH_trend.json").write_text('{"schema": 1, "history": []}')
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        metrics = trend.collect_current(tmp_path)
+        assert "optim/adam" in metrics and len(metrics) == 5
+
+
+class TestGate:
+    def test_first_run_records_baseline(self, trend, tmp_path, capsys):
+        _write_reports(tmp_path)
+        assert trend.main(["--root", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "BENCH_trend.json").read_text())
+        assert data["schema"] == trend.TREND_SCHEMA
+        assert len(data["history"]) == 1
+        assert data["history"][0]["metrics"]["optim/adam"] == 6.0
+        assert "recording first entry" in capsys.readouterr().out
+
+    def test_passes_when_numbers_hold(self, trend, tmp_path):
+        _write_reports(tmp_path)
+        history = [{"sha": "bbbbbbb", "ts": 0.0,
+                    "metrics": trend.collect_current(tmp_path)}]
+        (tmp_path / "BENCH_trend.json").write_text(
+            json.dumps({"schema": 1, "history": history})
+        )
+        assert trend.main(["--root", str(tmp_path), "--check"]) == 0
+
+    def test_fails_on_injected_regression(self, trend, tmp_path, capsys):
+        _write_reports(tmp_path)
+        baseline = trend.collect_current(tmp_path)
+        (tmp_path / "BENCH_trend.json").write_text(
+            json.dumps({"schema": 1, "history": [
+                {"sha": "bbbbbbb", "ts": 0.0, "metrics": baseline}
+            ]})
+        )
+        # Inject a synthetic regression: adam drops 6.0x -> 2.0x (-67%).
+        _write_reports(tmp_path, adam_speedup=2.0)
+        assert trend.main(["--root", str(tmp_path), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "optim/adam" in err and "FAIL" in err
+        # --check never rewrites history, even on failure.
+        data = json.loads((tmp_path / "BENCH_trend.json").read_text())
+        assert data["history"][0]["metrics"]["optim/adam"] == 6.0
+
+    def test_small_drift_within_threshold_passes(self, trend, tmp_path):
+        _write_reports(tmp_path, adam_speedup=6.0)
+        (tmp_path / "BENCH_trend.json").write_text(
+            json.dumps({"schema": 1, "history": [
+                {"sha": "bbbbbbb", "ts": 0.0,
+                 "metrics": trend.collect_current(tmp_path)}
+            ]})
+        )
+        _write_reports(tmp_path, adam_speedup=5.0)  # -17% < default 30% gate
+        assert trend.main(["--root", str(tmp_path), "--check"]) == 0
+
+    def test_tighter_threshold_flags_same_drift(self, trend, tmp_path):
+        _write_reports(tmp_path, adam_speedup=6.0)
+        (tmp_path / "BENCH_trend.json").write_text(
+            json.dumps({"schema": 1, "history": [
+                {"sha": "bbbbbbb", "ts": 0.0,
+                 "metrics": trend.collect_current(tmp_path)}
+            ]})
+        )
+        _write_reports(tmp_path, adam_speedup=5.0)
+        assert trend.main(["--root", str(tmp_path), "--check", "--threshold", "0.1"]) == 1
+
+    def test_reruns_at_same_sha_replace_entry(self, trend, tmp_path, monkeypatch):
+        _write_reports(tmp_path)
+        monkeypatch.setattr(trend, "git_sha", lambda short=True: "cafe123")
+        assert trend.main(["--root", str(tmp_path)]) == 0
+        assert trend.main(["--root", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "BENCH_trend.json").read_text())
+        assert [e["sha"] for e in data["history"]] == ["cafe123"]
+
+    def test_no_reports_is_an_error(self, trend, tmp_path):
+        assert trend.main(["--root", str(tmp_path)]) == 2
+
+    def test_new_and_missing_metrics_do_not_fail(self, trend, tmp_path, capsys):
+        _write_reports(tmp_path)
+        (tmp_path / "BENCH_trend.json").write_text(
+            json.dumps({"schema": 1, "history": [
+                {"sha": "bbbbbbb", "ts": 0.0,
+                 "metrics": {"optim/adam": 6.0, "optim/retired": 2.0}}
+            ]})
+        )
+        assert trend.main(["--root", str(tmp_path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "new" in out and "missing" in out
+
+
+class TestHistoryHygiene:
+    def test_unknown_schema_starts_fresh(self, trend, tmp_path, capsys):
+        _write_reports(tmp_path)
+        (tmp_path / "BENCH_trend.json").write_text('{"schema": 99, "history": []}')
+        assert trend.main(["--root", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "BENCH_trend.json").read_text())
+        assert data["schema"] == trend.TREND_SCHEMA and len(data["history"]) == 1
+
+    def test_history_is_capped(self, trend, tmp_path, monkeypatch):
+        _write_reports(tmp_path)
+        history = [
+            {"sha": f"sha{i}", "ts": float(i), "metrics": {"optim/adam": 6.0}}
+            for i in range(trend.MAX_HISTORY + 10)
+        ]
+        (tmp_path / "BENCH_trend.json").write_text(
+            json.dumps({"schema": 1, "history": history})
+        )
+        monkeypatch.setattr(trend, "git_sha", lambda short=True: "cafe123")
+        assert trend.main(["--root", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "BENCH_trend.json").read_text())
+        assert len(data["history"]) == trend.MAX_HISTORY
+        assert data["history"][-1]["sha"] == "cafe123"

@@ -81,6 +81,53 @@ class TestHistogram:
             registry.histogram("lat", buckets=(1.0, 3.0))
 
 
+class TestHistogramPercentile:
+    """Pins the documented percentile semantics (see Histogram.percentile)."""
+
+    def _histogram(self, values=(), buckets=(0.01, 0.1, 1.0)):
+        histogram = MetricsRegistry().histogram("lat", buckets=buckets)
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_empty_histogram_is_nan(self):
+        histogram = self._histogram()
+        assert math.isnan(histogram.percentile(50))
+        assert math.isnan(histogram.percentile(99))
+
+    def test_p_outside_range_rejected(self):
+        histogram = self._histogram([0.05])
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.1)
+
+    def test_returns_covering_bucket_upper_bound(self):
+        # 9 fast observations, 1 slow: p50 resolves to the fast bucket's
+        # bound, p99 to the slow one's.
+        histogram = self._histogram([0.05] * 9 + [0.5])
+        assert histogram.percentile(50) == 0.1
+        assert histogram.percentile(90) == 0.1
+        assert histogram.percentile(99) == 1.0
+
+    def test_boundary_values_report_their_own_bound(self):
+        histogram = self._histogram([0.1, 0.1, 0.1])
+        assert histogram.percentile(50) == 0.1
+        assert histogram.percentile(100) == 0.1
+
+    def test_negative_values_report_first_bound(self):
+        histogram = self._histogram([-3.0, -0.5])
+        assert histogram.percentile(50) == 0.01
+
+    def test_values_above_last_bound_report_inf(self):
+        histogram = self._histogram([5.0, 7.0])
+        assert histogram.percentile(50) == math.inf
+
+    def test_p0_reports_first_nonempty_bucket(self):
+        histogram = self._histogram([0.5, 0.5])
+        assert histogram.percentile(0) == 1.0
+
+
 class TestRegistry:
     def test_same_name_and_labels_returns_same_instrument(self):
         registry = MetricsRegistry()

@@ -1,0 +1,194 @@
+"""Unit tests for the Chrome-trace profiler and self-time attribution."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.obs import Profiler, Telemetry
+
+
+def _span(path, seconds, *, ts=0.0, perf_ts=0.0, tid=0, name=None, **extra):
+    return {
+        "type": "span",
+        "path": path,
+        "name": name or path.rsplit("/", 1)[-1],
+        "seconds": seconds,
+        "ts": ts,
+        "perf_ts": perf_ts,
+        "tid": tid,
+        "labels": {},
+        **extra,
+    }
+
+
+class TestCollection:
+    def test_keeps_only_span_events(self):
+        profiler = Profiler()
+        profiler.emit(_span("step", 0.1))
+        profiler.emit({"type": "metric", "name": "steps", "value": 1})
+        profiler.emit({"type": "run", "experiment": "train"})
+        assert len(profiler.spans) == 1
+
+    def test_from_events_roundtrip(self):
+        events = [_span("step", 0.1), {"type": "metric"}, _span("step/forward", 0.02)]
+        profiler = Profiler.from_events(events)
+        assert [s["path"] for s in profiler.spans] == ["step", "step/forward"]
+
+    def test_attach_collects_live_spans_and_detaches_on_close(self):
+        telemetry = Telemetry()
+        profiler = Profiler().attach(telemetry)
+        with telemetry.span("step"):
+            with telemetry.span("forward"):
+                pass
+        assert [s["path"] for s in profiler.spans] == ["step/forward", "step"]
+        profiler.close()
+        assert profiler not in telemetry.sinks
+
+    def test_attach_rejects_disabled_telemetry(self):
+        with pytest.raises(ValueError):
+            Profiler().attach(Telemetry.disabled())
+
+
+class TestChromeTrace:
+    def test_slices_and_thread_metadata(self):
+        profiler = Profiler.from_events(
+            [
+                _span("step/forward", 0.02, perf_ts=10.01),
+                _span("step", 0.1, perf_ts=10.0),
+            ]
+        )
+        trace = profiler.chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"]["clock"] == "perf_ts"
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(meta) == 1 and meta[0]["args"]["name"] == "telemetry-0"
+        assert {s["name"] for s in slices} == {"step", "forward"}
+        # Times are microseconds relative to the earliest span.
+        by_name = {s["name"]: s for s in slices}
+        assert by_name["step"]["ts"] == pytest.approx(0.0)
+        assert by_name["forward"]["ts"] == pytest.approx(1e4)
+        assert by_name["step"]["dur"] == pytest.approx(1e5)
+
+    def test_child_slice_nests_inside_parent(self):
+        telemetry = Telemetry()
+        profiler = Profiler().attach(telemetry)
+        with telemetry.span("step"):
+            with telemetry.span("forward"):
+                pass
+        slices = {
+            e["args"]["path"]: e
+            for e in profiler.chrome_trace()["traceEvents"]
+            if e["ph"] == "X"
+        }
+        parent, child = slices["step"], slices["step/forward"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1.0
+
+    def test_falls_back_to_wall_clock_without_perf_ts(self):
+        profiler = Profiler.from_events(
+            [_span("step", 0.1, ts=100.0), _span("step", 0.1, ts=101.0, perf_ts=5.0)]
+        )
+        trace = profiler.chrome_trace()
+        assert trace["otherData"]["clock"] == "ts"
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert [s["ts"] for s in slices] == pytest.approx([0.0, 1e6])
+
+    def test_args_carry_labels_memory_and_error(self):
+        profiler = Profiler.from_events(
+            [
+                _span(
+                    "step/backward",
+                    0.01,
+                    labels={"task": "0"},
+                    mem_bytes=2048,
+                    error=True,
+                )
+            ]
+        )
+        (slice_,) = [e for e in profiler.chrome_trace()["traceEvents"] if e["ph"] == "X"]
+        assert slice_["args"]["task"] == "0"
+        assert slice_["args"]["mem_bytes"] == 2048
+        assert slice_["args"]["error"] is True
+
+    def test_distinct_tids_become_distinct_threads(self):
+        profiler = Profiler.from_events(
+            [_span("step", 0.1, tid=1), _span("step", 0.1, tid=2)]
+        )
+        trace = profiler.chrome_trace()
+        assert [e["tid"] for e in trace["traceEvents"] if e["ph"] == "M"] == [1, 2]
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        profiler = Profiler.from_events([_span("step", 0.1, perf_ts=1.0)])
+        path = profiler.export_chrome_trace(str(tmp_path / "trace.json"))
+        data = json.loads(open(path).read())
+        assert data["traceEvents"] and data["displayTimeUnit"] == "ms"
+
+
+class TestSelfTimes:
+    def test_direct_children_subtracted(self):
+        profiler = Profiler.from_events(
+            [
+                _span("step", 1.0),
+                _span("step/backward", 0.6),
+                _span("step/backward/task_backward", 0.5),
+                _span("step/balance", 0.1),
+            ]
+        )
+        times = profiler.self_times()
+        # step self = 1.0 - (0.6 + 0.1); grandchild must not be subtracted twice.
+        assert times["step"]["self_seconds"] == pytest.approx(0.3)
+        assert times["step/backward"]["self_seconds"] == pytest.approx(0.1)
+        assert times["step/balance"]["self_seconds"] == pytest.approx(0.1)
+        assert times["step/backward/task_backward"]["self_seconds"] == pytest.approx(0.5)
+
+    def test_repeated_spans_accumulate(self):
+        profiler = Profiler.from_events(
+            [_span("step", 0.2), _span("step", 0.3), _span("step/forward", 0.1)]
+        )
+        stats = profiler.self_times()["step"]
+        assert stats["count"] == 2
+        assert stats["total_seconds"] == pytest.approx(0.5)
+        assert stats["self_seconds"] == pytest.approx(0.4)
+
+    def test_jitter_clamped_to_zero(self):
+        profiler = Profiler.from_events(
+            [_span("step", 0.1), _span("step/forward", 0.100001)]
+        )
+        assert profiler.self_times()["step"]["self_seconds"] == 0.0
+
+    def test_format_self_times_renders_table(self):
+        profiler = Profiler.from_events([_span("step", 0.1)])
+        table = profiler.format_self_times()
+        assert "step" in table and "self ms" in table
+        assert Profiler().format_self_times() == "No spans profiled."
+
+
+class TestMemoryTracking:
+    def test_track_memory_records_span_deltas(self):
+        telemetry = Telemetry()
+        profiler = Profiler(track_memory=True).attach(telemetry)
+        try:
+            assert tracemalloc.is_tracing()
+            with telemetry.span("step"):
+                _ = [0] * 50_000  # keep alive until the span closes
+            (span,) = profiler.spans
+            assert span["mem_bytes"] > 0
+            assert profiler.self_times()["step"]["mem_bytes"] == span["mem_bytes"]
+        finally:
+            profiler.close()
+        assert not tracemalloc.is_tracing()
+
+    def test_close_leaves_foreign_tracemalloc_running(self):
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            telemetry = Telemetry()
+            profiler = Profiler(track_memory=True).attach(telemetry)
+            profiler.close()
+            assert tracemalloc.is_tracing()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()

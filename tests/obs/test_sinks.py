@@ -64,6 +64,76 @@ class TestJsonlSink:
         assert json.loads(open(path).read()) == {"value": 1.5, "count": 2}
 
 
+class TestDeterministicClosure:
+    def test_atexit_hook_closes_abandoned_file_sinks(self, tmp_path):
+        from repro.obs.sinks import _close_open_sinks, _open_sinks
+
+        sink = JsonlSink(str(tmp_path / "out.jsonl"))
+        sink.emit({"a": 1})
+        assert sink in _open_sinks
+        _close_open_sinks()  # what atexit runs at interpreter shutdown
+        assert sink.closed
+        assert sink not in _open_sinks
+
+    def test_closed_and_stream_sinks_not_registered(self, tmp_path):
+        from repro.obs.sinks import _open_sinks
+
+        stream_sink = JsonlSink(io.StringIO())
+        assert stream_sink not in _open_sinks  # caller owns the stream
+        file_sink = JsonlSink(str(tmp_path / "out.jsonl"))
+        file_sink.close()
+        assert file_sink not in _open_sinks
+
+    def test_killed_mid_epoch_run_leaves_parseable_jsonl(self, tmp_path):
+        """SIGKILL a child that streams events forever; per-event flush
+        must leave a file load_events can parse (modulo a torn tail)."""
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+        import time as _time
+
+        import repro
+        from repro.obs import load_events
+
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        path = tmp_path / "killed.jsonl"
+        child = subprocess.Popen(
+            [
+                _sys.executable,
+                "-c",
+                (
+                    "import sys; from repro.obs import JsonlSink\n"
+                    "sink = JsonlSink(sys.argv[1])\n"
+                    "step = 0\n"
+                    "while True:\n"
+                    "    sink.emit({'type': 'span', 'path': 'step', "
+                    "'seconds': 0.001, 'step': step})\n"
+                    "    step += 1\n"
+                ),
+                str(path),
+            ],
+            env=env,
+        )
+        try:
+            deadline = _time.monotonic() + 30.0
+            while _time.monotonic() < deadline:  # wait for real output
+                if path.exists() and path.stat().st_size > 4096:
+                    break
+                _time.sleep(0.05)
+            assert path.exists() and path.stat().st_size > 0, "child produced no output"
+        finally:
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        events = load_events(str(path))
+        assert len(events) >= 10
+        assert all(e["type"] == "span" for e in events)
+        # Steps are contiguous: nothing before the kill point was lost.
+        assert [e["step"] for e in events] == list(range(len(events)))
+
+
 class TestTelemetryPlumbing:
     def test_spans_reach_sinks(self):
         sink = InMemorySink()

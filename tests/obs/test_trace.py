@@ -1,6 +1,7 @@
 """Unit tests for tracing spans: nesting, paths, thread isolation."""
 
 import threading
+import time
 
 import pytest
 
@@ -80,6 +81,59 @@ class TestSpans:
                 raise RuntimeError("boom")
         assert len(tracer.durations("step")) == 1
         assert tracer.active_path() is None
+
+    def test_raising_span_keeps_duration_and_error_flag(self):
+        records = []
+        tracer = Tracer(on_close=records.append)
+        with pytest.raises(RuntimeError):
+            with tracer.span("step"):
+                time.sleep(0.01)
+                raise RuntimeError("boom")
+        (record,) = records
+        assert record.error is True
+        assert record.duration >= 0.01
+        assert record.to_event()["error"] is True
+
+    def test_clean_span_omits_error_from_event(self):
+        records = []
+        tracer = Tracer(on_close=records.append)
+        with tracer.span("step"):
+            pass
+        assert records[0].error is False
+        assert "error" not in records[0].to_event()
+
+    def test_nested_unwind_marks_every_open_span(self):
+        records = []
+        tracer = Tracer(on_close=records.append)
+        with pytest.raises(RuntimeError):
+            with tracer.span("step"):
+                with tracer.span("backward"):
+                    raise RuntimeError("boom")
+        # Children still close before parents, all flagged, stack empty.
+        assert [r.path for r in records] == ["step/backward", "step"]
+        assert [r.error for r in records] == [True, True]
+        assert tracer.active_path() is None
+
+    def test_sibling_closed_before_raise_stays_clean(self):
+        records = []
+        tracer = Tracer(on_close=records.append)
+        with pytest.raises(RuntimeError):
+            with tracer.span("step"):
+                with tracer.span("forward"):
+                    pass
+                raise RuntimeError("boom")
+        by_path = {r.path: r for r in records}
+        assert by_path["step/forward"].error is False
+        assert by_path["step"].error is True
+
+    def test_out_of_order_close_without_exception_still_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
 
     def test_invalid_names_rejected(self):
         tracer = Tracer()
