@@ -1,0 +1,199 @@
+"""Data-parallel training benchmark: shared-memory workers vs sequential.
+
+Times whole ``MTLTrainer`` steps (dispatch → shard compute → reduce →
+balance → fused optimizer step) for worker counts {1, 2, 4} against the
+single-process sequential baseline, at K ∈ {4, 8} tasks over a trunk with
+d ≥ 1e5 shared parameters, and writes ``BENCH_parallel.json`` at the
+repository root.
+
+Parallel speedup is hardware-bound: a W-worker run cannot beat sequential
+on fewer than W cores, so the report records ``cpu_count`` (the CPUs this
+process may actually use) and both the smoke gate here and
+``benchmarks/trend.py`` only hold a configuration to its bar when the host
+has at least as many cores as workers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the run for CI (K=4, workers {1, 2}) and exits
+non-zero if the 2-worker run is slower than sequential on a ≥ 2-core host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+from benchlib import provenance
+
+from repro.arch import HardParameterSharing, LinearHead, MLPEncoder
+from repro.core.balancer import create_balancer
+from repro.data import ArrayDataset, TaskSpec
+from repro.nn.functional import mse_loss
+from repro.obs import Telemetry
+from repro.training import MTLTrainer
+
+IN_FEATURES = 64
+HIDDEN = [320, 256]  # shared trunk d ≈ 1.03e5
+BATCH = 256
+NUM_SAMPLES = 4096
+
+
+def cpu_count() -> int:
+    """CPUs this process may schedule onto (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def make_model(num_tasks: int):
+    rng = np.random.default_rng(1)
+    return HardParameterSharing(
+        MLPEncoder(IN_FEATURES, HIDDEN, rng),
+        {f"task{k}": LinearHead(HIDDEN[-1], 1, rng) for k in range(num_tasks)},
+    )
+
+
+def make_dataset(num_tasks: int) -> ArrayDataset:
+    rng = np.random.default_rng(2)
+    inputs = rng.normal(size=(NUM_SAMPLES, IN_FEATURES))
+    targets = {f"task{k}": rng.normal(size=NUM_SAMPLES) for k in range(num_tasks)}
+    return ArrayDataset(inputs, targets)
+
+
+def make_tasks(num_tasks: int) -> list[TaskSpec]:
+    return [TaskSpec(f"task{k}", mse_loss, {}, {}) for k in range(num_tasks)]
+
+
+def median_step_seconds(num_tasks: int, workers: int, steps: int, warmup: int) -> float:
+    """Median whole-step seconds; ``workers=0`` is the sequential baseline.
+
+    The warmup steps absorb worker start-up (process fork, shm attach,
+    replica build) so the medians compare steady-state throughput.
+    """
+    factory = partial(make_model, num_tasks)
+    telemetry = Telemetry()
+    kwargs = {}
+    if workers:
+        kwargs.update(parallel=workers, model_factory=factory)
+    trainer = MTLTrainer(
+        factory(),
+        make_tasks(num_tasks),
+        create_balancer("mocograd", seed=0),
+        seed=0,
+        optimizer="sgd",
+        telemetry=telemetry,
+        **kwargs,
+    )
+    try:
+        trainer.fit(
+            make_dataset(num_tasks),
+            epochs=1,
+            batch_size=BATCH,
+            max_steps_per_epoch=warmup + steps,
+        )
+    finally:
+        trainer.close()
+    return float(np.median(telemetry.durations("step")[warmup:]))
+
+
+def run(worker_counts: list[int], task_counts: list[int], steps: int, warmup: int) -> dict:
+    results = []
+    for num_tasks in task_counts:
+        sequential = median_step_seconds(num_tasks, 0, steps, warmup)
+        for workers in worker_counts:
+            seconds = median_step_seconds(num_tasks, workers, steps, warmup)
+            results.append(
+                {
+                    "num_tasks": num_tasks,
+                    "workers": workers,
+                    "seconds_per_step": seconds,
+                    "sequential_seconds_per_step": sequential,
+                    "throughput_samples_per_second": BATCH / seconds,
+                    "speedup": sequential / seconds,
+                }
+            )
+    return {
+        "benchmark": "parallel",
+        "cpu_count": cpu_count(),
+        "workload": {
+            "in_features": IN_FEATURES,
+            "hidden": HIDDEN,
+            "dim_shared": IN_FEATURES * HIDDEN[0]
+            + HIDDEN[0]
+            + HIDDEN[0] * HIDDEN[1]
+            + HIDDEN[1],
+            "batch": BATCH,
+            "num_samples": NUM_SAMPLES,
+            "steps": steps,
+            "warmup": warmup,
+            "balancer": "mocograd",
+        },
+        **provenance(),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run; fail (exit 1) if 2 workers are slower than "
+        "sequential on a host with ≥ 2 cores",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_parallel.json",
+        help="output JSON path (default: <repo root>/BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        worker_counts, task_counts, steps, warmup = [1, 2], [4], 5, 2
+    else:
+        worker_counts, task_counts, steps, warmup = [1, 2, 4], [4, 8], 10, 3
+
+    started = time.perf_counter()
+    report = run(worker_counts, task_counts, steps, warmup)
+    report["wall_seconds"] = time.perf_counter() - started
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    cores = report["cpu_count"]
+    print(f"cpu_count={cores}  (speedup bars apply only when cores ≥ workers)")
+    print(f"{'K':>3} {'workers':>7} {'ms/step':>9} {'samples/s':>10} {'speedup':>8}")
+    for row in report["results"]:
+        print(
+            f"{row['num_tasks']:>3} {row['workers']:>7} "
+            f"{row['seconds_per_step'] * 1e3:>9.2f} "
+            f"{row['throughput_samples_per_second']:>10.0f} "
+            f"{row['speedup']:>8.2f}"
+        )
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        gated = [
+            row
+            for row in report["results"]
+            if row["workers"] == 2 and cores >= 2 and row["speedup"] < 1.0
+        ]
+        for row in gated:
+            print(
+                f"FAIL: K={row['num_tasks']} workers=2 speedup "
+                f"{row['speedup']:.2f} < 1.0 on a {cores}-core host"
+            )
+        if gated:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

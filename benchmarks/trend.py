@@ -13,7 +13,10 @@ Tracked metrics (label → speedup):
   (rows below the dispatch threshold, ``"vectorized_kernel": false``,
   compare identical code and are skipped);
 - ``optim/{name}`` — flat vs loop optimizer step;
-- ``optim/train_step`` — arena vs no-arena whole train step.
+- ``optim/train_step`` — arena vs no-arena whole train step;
+- ``parallel/K{K}/W{W}`` — W shared-memory workers vs sequential (only
+  recorded when the host has at least W usable cores — see
+  ``bench_parallel.py``).
 
 Speedup ratios are self-normalizing (both sides of each ratio run on the
 same machine in the same process), so history entries from different
@@ -72,6 +75,16 @@ def extract_metrics(report: dict) -> dict[str, float]:
         train = report.get("train_step")
         if train:
             metrics["optim/train_step"] = float(train["speedup"])
+    elif kind == "parallel":
+        # Parallel speedup is hardware-bound: a W-worker run cannot beat
+        # sequential on fewer than W cores, so only configurations the
+        # recording host could actually parallelize are tracked.
+        cores = int(report.get("cpu_count", 0))
+        for row in report.get("results", []):
+            if cores >= int(row["workers"]):
+                metrics[f"parallel/K{row['num_tasks']}/W{row['workers']}"] = float(
+                    row["speedup"]
+                )
     return metrics
 
 

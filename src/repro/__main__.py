@@ -8,6 +8,7 @@ Usage::
     python -m repro table4 --methods equal,mocograd
     python -m repro table1 --telemetry out.jsonl   # stream telemetry events
     python -m repro report out.jsonl               # pretty-print a saved run
+    python -m repro report run.jsonl run.worker*.jsonl   # merge a parallel run
 
 Flight recorder (see DESIGN.md, "Flight recorder")::
 
@@ -176,9 +177,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment", choices=experiments + ["list", "report", "train"])
     parser.add_argument(
         "path",
-        nargs="?",
-        default=None,
-        help="telemetry JSONL file (required by the `report` subcommand)",
+        nargs="*",
+        default=[],
+        help="telemetry JSONL file(s) (required by the `report` subcommand; "
+        "pass the parent file plus any run.worker<i>.jsonl files to merge a "
+        "multi-process run)",
     )
     parser.add_argument("--preset", default="quick", choices=("quick", "full"))
     parser.add_argument(
@@ -223,10 +226,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.experiment == "report":
-        if args.path is None:
-            parser.error("report requires a telemetry JSONL path")
+        if not args.path:
+            parser.error("report requires at least one telemetry JSONL path")
         try:
-            events = obs.load_events(args.path)
+            events = obs.load_run_events(args.path)
         except OSError as exc:
             parser.error(f"cannot read telemetry file: {exc}")
         except ValueError as exc:

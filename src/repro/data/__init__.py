@@ -11,6 +11,8 @@ from .base import (
     Benchmark,
     DataLoader,
     TaskSpec,
+    batch_index_iter,
+    shard_rng,
     train_val_test_split,
 )
 from .cityscapes import make_cityscapes
@@ -27,6 +29,8 @@ __all__ = [
     "DataLoader",
     "Benchmark",
     "train_val_test_split",
+    "batch_index_iter",
+    "shard_rng",
     "SINGLE_INPUT",
     "MULTI_INPUT",
     "task_directions",

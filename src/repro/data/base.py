@@ -26,12 +26,61 @@ __all__ = [
     "DataLoader",
     "Benchmark",
     "train_val_test_split",
+    "batch_index_iter",
+    "shard_rng",
     "SINGLE_INPUT",
     "MULTI_INPUT",
 ]
 
 SINGLE_INPUT = "single_input"
 MULTI_INPUT = "multi_input"
+
+#: Seed used when neither an ``rng`` nor a ``seed`` is given.  Batch order
+#: must always derive from an explicit seed so that runs — and the shard
+#: streams data-parallel workers cut from them — are reproducible; an
+#: OS-entropy fallback would silently break that contract.
+DEFAULT_DATA_SEED = 0
+
+
+def shard_rng(seed: int, shard_index: int) -> np.random.Generator:
+    """Deterministic per-shard generator: ``default_rng(seed + shard_index)``.
+
+    The spawn-safe seeding helper for data-parallel workers: each shard's
+    stream is a pure function of ``(seed, shard_index)``, so a worker
+    process reconstructs it identically under any start method (fork or
+    spawn) without inheriting parent RNG state.  ``seed`` must be explicit
+    — reproducibility of worker shards is the whole point.
+    """
+    if seed is None:
+        raise ValueError("shard_rng requires an explicit seed")
+    if shard_index < 0:
+        raise ValueError(f"shard_index must be ≥ 0; got {shard_index}")
+    return np.random.default_rng(int(seed) + int(shard_index))
+
+
+def batch_index_iter(
+    n: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield per-batch position arrays over ``n`` samples.
+
+    This is the index stream behind :class:`DataLoader` (which yields the
+    materialized batches) and the parallel sharder (which splits each index
+    array across workers) — both consume the *same* generator calls, so a
+    sequential loader and a sharded run over the same ``rng`` see identical
+    batch order.
+    """
+    order = np.arange(n)
+    if shuffle:
+        (rng if rng is not None else np.random.default_rng(DEFAULT_DATA_SEED)).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and idx.size < batch_size:
+            break
+        yield idx
 
 
 @dataclass
@@ -117,7 +166,10 @@ class DataLoader:
     """Minibatch iterator with optional shuffling.
 
     Each ``iter()`` re-shuffles with the loader's generator, so epochs see
-    different orders while remaining reproducible from the seed.
+    different orders while remaining reproducible from the seed.  When no
+    ``rng`` is given the generator derives from ``seed`` (default
+    :data:`DEFAULT_DATA_SEED`) — never from OS entropy, so two loaders
+    built with the same arguments always walk the same batch order.
     """
 
     def __init__(
@@ -127,14 +179,21 @@ class DataLoader:
         rng: np.random.Generator | None = None,
         shuffle: bool = True,
         drop_last: bool = False,
+        seed: int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be ≥ 1")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self.rng = rng or np.random.default_rng()
+        self.rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng(DEFAULT_DATA_SEED if seed is None else seed)
+        )
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -143,13 +202,13 @@ class DataLoader:
         return (n + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator:
-        order = np.arange(len(self.dataset))
-        if self.shuffle:
-            self.rng.shuffle(order)
-        for start in range(0, len(order), self.batch_size):
-            idx = order[start : start + self.batch_size]
-            if self.drop_last and idx.size < self.batch_size:
-                break
+        for idx in batch_index_iter(
+            len(self.dataset),
+            self.batch_size,
+            rng=self.rng,
+            shuffle=self.shuffle,
+            drop_last=self.drop_last,
+        ):
             yield self.dataset.batch(idx)
 
 

@@ -54,6 +54,19 @@ from .module import Parameter
 __all__ = ["ParameterArena", "packed_segment"]
 
 
+def _check_external_buffer(name: str, buf: np.ndarray, size: int) -> np.ndarray:
+    """Validate an externally provided arena buffer (no copies, no casts)."""
+    if not isinstance(buf, np.ndarray):
+        raise TypeError(f"{name} buffer must be an ndarray, got {type(buf).__name__}")
+    if buf.dtype != np.float64:
+        raise ValueError(f"{name} buffer must be float64, got {buf.dtype}")
+    if buf.ndim != 1 or not buf.flags.c_contiguous:
+        raise ValueError(f"{name} buffer must be a contiguous (d,) vector")
+    if buf.size != size:
+        raise ValueError(f"{name} buffer has length {buf.size}; packed size is {size}")
+    return buf
+
+
 class ParameterArena:
     """Pack parameters into contiguous flat data/grad buffers (as views).
 
@@ -63,9 +76,29 @@ class ParameterArena:
         The parameters to pack, in packing order.  Duplicates (by identity)
         are collapsed to their first occurrence.  Values and any existing
         gradients are preserved through packing.
+    data, grad:
+        Optional externally provided flat float64 C-contiguous buffers of
+        exactly the packed length ``d`` — e.g. numpy views over
+        ``multiprocessing.shared_memory`` blocks.  When given, the arena
+        packs *into* them instead of allocating, so every ``param.data`` /
+        ``param.grad`` view aliases the external memory and in-place
+        optimizer steps are visible to any process mapping the same block.
+        Pass both or neither.
+    load:
+        Only meaningful with external buffers.  ``False`` (default, the
+        parent side) copies the parameters' current values and gradients
+        into the buffers; ``True`` (the worker side) adopts the buffers'
+        existing contents as authoritative, discarding the parameters'
+        own values — the replica snaps to whatever the parent published.
     """
 
-    def __init__(self, parameters: Sequence[Parameter]) -> None:
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        data: np.ndarray | None = None,
+        grad: np.ndarray | None = None,
+        load: bool = False,
+    ) -> None:
         seen: set[int] = set()
         params: list[Parameter] = []
         for param in parameters:
@@ -92,17 +125,31 @@ class ParameterArena:
             total += param.size
         #: total packed length ``d``
         self.size: int = total
+        if (data is None) != (grad is None):
+            raise ValueError("pass both data and grad buffers, or neither")
+        external = data is not None
+        if external:
+            data = _check_external_buffer("data", data, total)
+            grad = _check_external_buffer("grad", grad, total)
+        else:
+            if load:
+                raise ValueError("load=True requires external data/grad buffers")
+            data = np.empty(total)
+            grad = np.zeros(total)
         #: the contiguous ``(d,)`` value buffer (parameter ``.data`` are views)
-        self.data: np.ndarray = np.empty(total)
+        self.data: np.ndarray = data
         #: the contiguous ``(d,)`` gradient buffer (parameter ``.grad`` are views)
-        self.grad: np.ndarray = np.zeros(total)
+        self.grad: np.ndarray = grad
         for param, offset in zip(params, self.offsets):
             shape = param.data.shape
             data_view = self.data[offset : offset + param.size].reshape(shape)
-            data_view[...] = param.data
             grad_view = self.grad[offset : offset + param.size].reshape(shape)
-            if param.grad is not None:
-                grad_view[...] = param.grad
+            if not load:
+                data_view[...] = param.data
+                if external:
+                    grad_view[...] = 0.0 if param.grad is None else param.grad
+                elif param.grad is not None:
+                    grad_view[...] = param.grad
             param.data = data_view
             param.grad = grad_view
             param._arena = self

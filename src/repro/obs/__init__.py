@@ -27,6 +27,7 @@ from .report import (
     format_dynamics,
     format_report,
     load_events,
+    load_run_events,
     summarize_dynamics,
     summarize_events,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "add_default_sink",
     "default_sinks",
     "load_events",
+    "load_run_events",
     "summarize_events",
     "format_report",
     "Profiler",

@@ -13,16 +13,30 @@ Aggregation rules
   snapshot per ``(tid, name, labels)`` wins, then instances are summed —
   flushing twice never double-counts.
 - *Gauges* keep the latest value per ``(name, labels)`` across the file.
+- *Histograms* follow the counter rule (last snapshot per instance wins),
+  then instances pool by ``(name, labels)``: counts, sums, and per-bucket
+  counts add (bucket merging needs matching bounds; mismatched bounds
+  keep count/sum only).
+
+Multi-file runs
+---------------
+A data-parallel run writes one JSONL file per process (``run.jsonl`` +
+``run.worker<i>.jsonl``); :func:`load_run_events` concatenates them,
+namespacing each file's telemetry ids (``"1:3"``) so instances from
+different processes never collide.  ``python -m repro report a.jsonl
+b.jsonl …`` funnels through it.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import statistics
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 __all__ = [
     "load_events",
+    "load_run_events",
     "summarize_events",
     "format_report",
     "summarize_dynamics",
@@ -52,6 +66,31 @@ def load_events(path: str) -> list[dict]:
         if not isinstance(event, dict):
             raise ValueError(f"{path}:{number}: event must be a JSON object")
         events.append(event)
+    return events
+
+
+def load_run_events(paths: Sequence[str] | str | os.PathLike) -> list[dict]:
+    """Load one run's event stream from one or several JSONL files.
+
+    With a single path this is exactly :func:`load_events`.  With several
+    (a parent file plus per-worker files), events are concatenated and
+    every ``tid`` is namespaced by file position (``"0:1"``, ``"1:1"``) —
+    telemetry ids are only unique within a process, and forked workers can
+    even share one, so cross-file collisions would otherwise merge
+    distinct instances and under-count their summed counters.
+    """
+    if isinstance(paths, (str, os.PathLike)):
+        paths = [paths]
+    if not paths:
+        raise ValueError("load_run_events needs at least one path")
+    if len(paths) == 1:
+        return load_events(paths[0])
+    events: list[dict] = []
+    for index, path in enumerate(paths):
+        for event in load_events(path):
+            if "tid" in event:
+                event["tid"] = f"{index}:{event['tid']}"
+            events.append(event)
     return events
 
 
@@ -101,6 +140,8 @@ def summarize_events(events: Iterable[Mapping]) -> dict:
     for (_tid, name, labels), value in counters_by_tid.items():
         counters[(name, labels)] = counters.get((name, labels), 0.0) + value
 
+    pooled = _pool_histograms(histograms)
+
     return {
         "runs": runs,
         "spans": spans,
@@ -109,8 +150,49 @@ def summarize_events(events: Iterable[Mapping]) -> dict:
             for name in {n for n, _ in counters}
         },
         "gauges": {key: value for key, (_ts, value) in gauges.items()},
+        "histograms": {
+            name: {labels: stats for (n, labels), stats in pooled.items() if n == name}
+            for name in {n for n, _ in pooled}
+        },
         "num_histograms": len(histograms),
     }
+
+
+def _pool_histograms(histograms: Mapping[tuple, Mapping]) -> dict[tuple, dict]:
+    """Sum per-instance histogram snapshots into per-series totals.
+
+    Counts and sums always add; per-bucket counts add element-wise when
+    every contributing instance shares the same bucket bounds, otherwise
+    the pooled entry keeps ``buckets: None`` (count/sum stay exact, the
+    bucket-resolution shape is undefined across mismatched bounds).
+    """
+    pooled: dict[tuple, dict] = {}
+    for (_tid, name, labels), event in histograms.items():
+        entry = pooled.setdefault(
+            (name, labels), {"count": 0, "sum": 0.0, "buckets": None, "_bounds": None}
+        )
+        entry["count"] += int(event.get("count", 0))
+        entry["sum"] += float(event.get("sum", 0.0))
+        buckets = event.get("buckets")
+        if buckets is None:
+            entry["_bounds"] = "mismatch"
+            continue
+        bounds = tuple(float(b["le"]) for b in buckets)
+        if entry["_bounds"] is None:
+            entry["_bounds"] = bounds
+            entry["buckets"] = [
+                {"le": float(b["le"]), "count": int(b["count"])} for b in buckets
+            ]
+        elif entry["_bounds"] == bounds:
+            for slot, bucket in zip(entry["buckets"], buckets):
+                slot["count"] += int(bucket["count"])
+        else:
+            entry["_bounds"] = "mismatch"
+            entry["buckets"] = None
+    for entry in pooled.values():
+        entry.pop("_bounds", None)
+        entry["mean"] = entry["sum"] / entry["count"] if entry["count"] else 0.0
+    return pooled
 
 
 # ----------------------------------------------------------------------
@@ -136,6 +218,21 @@ def _format_table(headers: list[str], rows: list[list], title: str | None = None
 
 def _label_value(labels: tuple, key: str) -> str | None:
     return dict(labels).get(key)
+
+
+def _bucket_percentile(stats: Mapping, p: float) -> float:
+    """Bucket-resolution percentile of a pooled histogram (nan if unknown)."""
+    buckets = stats.get("buckets")
+    count = int(stats.get("count", 0))
+    if not buckets or count == 0:
+        return float("nan")
+    rank = max(1, int(-(-p * count // 100)))  # ceil(p/100 * count)
+    cumulative = 0
+    for bucket in buckets:
+        cumulative += int(bucket["count"])
+        if cumulative >= rank:
+            return float(bucket["le"])
+    return float("inf")
 
 
 def format_report(summary: Mapping) -> str:
@@ -170,6 +267,29 @@ def format_report(summary: Mapping) -> str:
         )
     else:
         sections.append("No spans recorded.")
+
+    if summary.get("histograms"):
+        rows = []
+        for name in sorted(summary["histograms"]):
+            for labels, stats in sorted(summary["histograms"][name].items()):
+                label_text = ",".join(f"{k}={v}" for k, v in labels) or "-"
+                rows.append(
+                    [
+                        name,
+                        label_text,
+                        int(stats["count"]),
+                        stats["mean"],
+                        _bucket_percentile(stats, 50),
+                        _bucket_percentile(stats, 95),
+                    ]
+                )
+        sections.append(
+            _format_table(
+                ["Histogram", "Labels", "Count", "Mean", "p50≤", "p95≤"],
+                rows,
+                title="Histograms (pooled across instances)",
+            )
+        )
 
     conflict_counts = summary["counters"].get("balancer_conflicts_total", {})
     pair_counts = summary["counters"].get("balancer_pairs_total", {})

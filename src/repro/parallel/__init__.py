@@ -1,0 +1,36 @@
+"""``repro.parallel`` — shared-memory data-parallel training.
+
+N worker processes hold arena-packed replicas of the model over one
+``multiprocessing.shared_memory`` block: the parent's fused flat-vector
+optimizer step writes the shared ``params`` region in place (the step *is*
+the broadcast), workers run forward + multi-root backward on deterministic
+contiguous shards of each batch and land their ``(K, d_shared)`` per-task
+gradient matrices directly in shared slabs, and the parent reduces with a
+deterministic weighted flat-sum before balancing once and stepping once.
+No gradients, parameters, or batches are ever pickled.
+
+Entry point: ``MTLTrainer(..., parallel=N, model_factory=...)``; the
+building blocks (buffer pool, sharder, worker loop, step protocol) live
+here.  See DESIGN.md ("Data-parallel training") for the layout diagram,
+protocol, and determinism contract.
+"""
+
+from .pool import ParallelExecutor, WorkerCrashed, default_start_method
+from .sharder import shard_bounds, shard_weights
+from .shm import ArenaDims, SharedArenaBuffers, SharedIndexBuffer
+from .worker import WorkerSpec, arena_order, worker_main, worker_sink_path
+
+__all__ = [
+    "ArenaDims",
+    "SharedArenaBuffers",
+    "SharedIndexBuffer",
+    "ParallelExecutor",
+    "WorkerCrashed",
+    "WorkerSpec",
+    "arena_order",
+    "default_start_method",
+    "shard_bounds",
+    "shard_weights",
+    "worker_main",
+    "worker_sink_path",
+]

@@ -1,0 +1,249 @@
+"""Parent-side worker pool: step protocol, reduce, crash detection.
+
+The protocol is a strict barrier per step:
+
+1. **dispatch** — the parent writes the step's batch indices into the
+   shared index buffer, computes contiguous shard bounds, and puts one
+   ``("step", step, lo, hi)`` command on every worker's queue;
+2. **wait** — the parent drains the shared ack queue until every worker
+   has answered for this step, polling process liveness in between so a
+   dead worker raises :class:`WorkerCrashed` (naming the worker and the
+   step) instead of hanging the barrier forever;
+3. **reduce** — a deterministic ascending-worker flat-sum over the shared
+   slabs with per-shard weights ``n_w / n``, written into caller-provided
+   output buffers (the balancer's ``(K, ds)`` matrix, the parent arena's
+   grad buffer, and the loss vector).
+
+Shutdown sends ``("stop",)`` to every live worker, joins with a timeout,
+and escalates to ``terminate()`` for stragglers; after a crash the pool
+tears everything down before raising, so no zombie ever outlives a failed
+step.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import time
+
+import numpy as np
+
+from .sharder import shard_bounds, shard_weights
+from .shm import ArenaDims, SharedArenaBuffers, SharedIndexBuffer
+from .worker import WorkerSpec, worker_main
+
+__all__ = ["WorkerCrashed", "ParallelExecutor", "default_start_method"]
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker died, errored, or timed out mid-step.
+
+    Attributes ``worker`` (index) and ``step`` identify where; the message
+    carries the failure detail (exit report, timeout, or the worker's
+    traceback).
+    """
+
+    def __init__(self, worker: int, step: int, detail: str) -> None:
+        super().__init__(f"worker {worker} failed at step {step}: {detail}")
+        self.worker = worker
+        self.step = step
+        self.detail = detail
+
+
+def default_start_method() -> str:
+    """``fork`` where available (zero-cost spec transfer), else ``spawn``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class ParallelExecutor:
+    """Owns the worker processes and the per-``fit`` index buffer.
+
+    Parameters
+    ----------
+    spec:
+        The picklable worker recipe (model factory, tasks, dataset).
+    buffers:
+        The parent-owned :class:`SharedArenaBuffers` (NOT owned here —
+        the trainer created it alongside its arena and closes it).
+    batch_size:
+        Capacity of the shared index buffer (one batch per step).
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``, default
+        :func:`default_start_method`.
+    step_timeout:
+        Seconds to wait for the step barrier before declaring the
+        slowest outstanding worker crashed.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        buffers: SharedArenaBuffers,
+        batch_size: int,
+        start_method: str | None = None,
+        step_timeout: float = 120.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        dims: ArenaDims = buffers.dims
+        self.num_workers = dims.num_workers
+        self.buffers = buffers
+        self.step_timeout = step_timeout
+        self.poll_interval = poll_interval
+        self.start_method = start_method or default_start_method()
+        self._indices = SharedIndexBuffer.create(batch_size)
+        self._bounds: list[int] | None = None
+        self._closed = False
+        ctx = mp.get_context(self.start_method)
+        self._command_queues = [ctx.Queue() for _ in range(self.num_workers)]
+        self._ack_queue = ctx.Queue()
+        self.processes = []
+        try:
+            for index in range(self.num_workers):
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(
+                        spec,
+                        index,
+                        buffers.name,
+                        dims,
+                        self._indices.name,
+                        batch_size,
+                        self._command_queues[index],
+                        self._ack_queue,
+                    ),
+                    daemon=True,
+                    name=f"repro-worker-{index}",
+                )
+                process.start()
+                self.processes.append(process)
+        except Exception:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Step protocol
+    # ------------------------------------------------------------------
+    def dispatch(self, step: int, batch_indices: np.ndarray) -> list[int]:
+        """Publish one batch and command every worker to compute its shard."""
+        n = int(batch_indices.size)
+        if n > self._indices.capacity:
+            raise ValueError(
+                f"batch of {n} exceeds index buffer capacity {self._indices.capacity}"
+            )
+        self._indices.indices[:n] = batch_indices
+        bounds = shard_bounds(n, self.num_workers)
+        for worker, command_queue in enumerate(self._command_queues):
+            command_queue.put(("step", step, bounds[worker], bounds[worker + 1]))
+        self._bounds = bounds
+        return bounds
+
+    def wait(self, step: int) -> list[float]:
+        """Barrier: collect every worker's ack for ``step``.
+
+        Returns per-worker compute seconds.  Raises :class:`WorkerCrashed`
+        (after tearing the pool down) when a worker acks an error, its
+        process dies, or the barrier exceeds ``step_timeout``.
+        """
+        remaining = set(range(self.num_workers))
+        seconds = [0.0] * self.num_workers
+        deadline = time.monotonic() + self.step_timeout
+        while remaining:
+            try:
+                worker, ack_step, status, payload = self._ack_queue.get(
+                    timeout=self.poll_interval
+                )
+            except queue.Empty:
+                for worker in sorted(remaining):
+                    if not self.processes[worker].is_alive():
+                        code = self.processes[worker].exitcode
+                        self._terminate()
+                        raise WorkerCrashed(
+                            worker, step, f"process died (exit code {code})"
+                        )
+                if time.monotonic() > deadline:
+                    worker = sorted(remaining)[0]
+                    self._terminate()
+                    raise WorkerCrashed(
+                        worker, step, f"no ack within {self.step_timeout:.0f}s"
+                    )
+                continue
+            if ack_step != step:
+                continue  # stale ack from an aborted earlier step
+            if status == "error":
+                self._terminate()
+                raise WorkerCrashed(worker, step, payload)
+            seconds[worker] = float(payload)
+            remaining.discard(worker)
+        return seconds
+
+    def reduce(
+        self,
+        task_grads_out: np.ndarray,
+        full_grad_out: np.ndarray,
+        losses_out: np.ndarray,
+        accumulate_full: bool = False,
+    ) -> None:
+        """Weighted flat-sum of the worker slabs into parent buffers.
+
+        Ascending worker order with weights ``n_w / n`` from the last
+        dispatch — fully deterministic.  ``task_grads_out`` (the balancer's
+        ``(K, ds)`` matrix) and ``losses_out`` are always overwritten;
+        ``accumulate_full=True`` *adds* the full-model gradient into
+        ``full_grad_out`` instead, so micro-steps of an accumulation window
+        sum into the parent arena exactly as skipped ``zero_grad`` calls do
+        in single-process mode (the caller guarantees it starts zeroed).
+        """
+        if self._bounds is None:
+            raise RuntimeError("reduce() before any dispatch()")
+        weights = shard_weights(self._bounds)
+        buffers = self.buffers
+        for worker in range(self.num_workers):
+            weight = float(weights[worker])
+            if worker == 0:
+                np.multiply(buffers.task_grads[0], weight, out=task_grads_out)
+                np.multiply(buffers.losses[0], weight, out=losses_out)
+                if accumulate_full:
+                    full_grad_out += weight * buffers.worker_grads[0]
+                else:
+                    np.multiply(buffers.worker_grads[0], weight, out=full_grad_out)
+            elif weight != 0.0:
+                task_grads_out += weight * buffers.task_grads[worker]
+                losses_out += weight * buffers.losses[worker]
+                full_grad_out += weight * buffers.worker_grads[worker]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every worker and release the index buffer (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker, process in enumerate(self.processes):
+            if process.is_alive():
+                try:
+                    self._command_queues[worker].put(("stop",))
+                except (OSError, ValueError):
+                    pass
+        for process in self.processes:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=timeout)
+        for command_queue in self._command_queues:
+            command_queue.close()
+        self._ack_queue.close()
+        self._indices.close()
+
+    def _terminate(self) -> None:
+        """Hard teardown after a crash: kill everything, then clean up."""
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        self.shutdown(timeout=1.0)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

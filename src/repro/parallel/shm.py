@@ -1,0 +1,202 @@
+"""Shared-memory buffer pool for data-parallel arena training.
+
+One :class:`SharedArenaBuffers` block carries everything the step protocol
+moves between the parent and its workers — laid out as flat float64 regions
+over a single ``multiprocessing.shared_memory`` segment:
+
+====================  ==============  =====================================
+region                shape           role
+====================  ==============  =====================================
+``params``            ``(d,)``        the ONE copy of the model weights.
+                                      The parent's :class:`~repro.nn.arena.
+                                      ParameterArena` packs into it, so the
+                                      fused optimizer step *is* the
+                                      broadcast; every worker replica's
+                                      ``param.data`` views alias it.
+``parent_grad``       ``(d,)``        the parent arena's grad buffer; the
+                                      reduce writes the weighted full-model
+                                      gradient here for the optimizer.
+``worker_grads``      ``(W, d)``      per-worker arena grad slabs — each
+                                      worker's autograd accumulates
+                                      directly into its own row.
+``task_grads``        ``(W, K, ds)``  per-worker per-task shared-parameter
+                                      gradient matrices (``ds`` = shared
+                                      partition length), reduced into the
+                                      balancer's ``(K, ds)`` input.
+``losses``            ``(W, K)``      per-worker per-task loss values.
+====================  ==============  =====================================
+
+Shard indices travel through a separate :class:`SharedIndexBuffer` (int64)
+created per ``fit()`` once the batch size is known.  Nothing that scales
+with ``d`` ever crosses a queue: the step protocol pickles only small
+command/ack tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ArenaDims", "SharedArenaBuffers", "SharedIndexBuffer"]
+
+_FLOAT = np.dtype(np.float64)
+_INDEX = np.dtype(np.int64)
+
+
+@dataclass(frozen=True)
+class ArenaDims:
+    """Everything needed to map the float64 regions of one buffer block."""
+
+    num_workers: int
+    num_tasks: int
+    dim_total: int
+    dim_shared: int
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be ≥ 1; got {self.num_workers}")
+        if self.num_tasks < 1:
+            raise ValueError(f"num_tasks must be ≥ 1; got {self.num_tasks}")
+        if self.dim_total < 1 or self.dim_shared < 1:
+            raise ValueError("dim_total and dim_shared must be ≥ 1")
+        if self.dim_shared > self.dim_total:
+            raise ValueError(
+                f"dim_shared {self.dim_shared} exceeds dim_total {self.dim_total}"
+            )
+
+    @property
+    def total_floats(self) -> int:
+        w, k, d, ds = self.num_workers, self.num_tasks, self.dim_total, self.dim_shared
+        return 2 * d + w * d + w * k * ds + w * k
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership.
+
+    CPython ≤ 3.12 registers *every* ``SharedMemory`` handle with the
+    resource tracker, attaches included.  Workers inherit the parent's
+    tracker process (both fork and spawn pass its fd down), whose cache is
+    a name-keyed *set* — the attach-time register is a duplicate no-op and
+    the parent's ``unlink()`` clears the single entry, so no unregister
+    gymnastics are needed here (an explicit per-worker unregister would in
+    fact delete the parent's registration and make later unregisters
+    KeyError inside the tracker).
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class SharedArenaBuffers:
+    """Float64 regions of one shared-memory block (see module docstring).
+
+    The parent constructs with :meth:`create` (owns the segment, must
+    :meth:`close` with ``unlink=True``); workers use :meth:`attach` with
+    the ``(name, dims)`` pair received in their start arguments.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, dims: ArenaDims, owner: bool) -> None:
+        self._shm = shm
+        self.dims = dims
+        self.owner = owner
+        self.name = shm.name
+        flat = np.ndarray((dims.total_floats,), dtype=_FLOAT, buffer=shm.buf)
+        w, k, d, ds = dims.num_workers, dims.num_tasks, dims.dim_total, dims.dim_shared
+        offset = 0
+        #: ``(d,)`` — the single shared copy of the model weights
+        self.params = flat[offset : offset + d]
+        offset += d
+        #: ``(d,)`` — the parent arena's gradient buffer (reduce target)
+        self.parent_grad = flat[offset : offset + d]
+        offset += d
+        #: ``(W, d)`` — per-worker arena gradient slabs
+        self.worker_grads = flat[offset : offset + w * d].reshape(w, d)
+        offset += w * d
+        #: ``(W, K, ds)`` — per-worker per-task shared-partition gradients
+        self.task_grads = flat[offset : offset + w * k * ds].reshape(w, k, ds)
+        offset += w * k * ds
+        #: ``(W, K)`` — per-worker per-task loss values
+        self.losses = flat[offset : offset + w * k].reshape(w, k)
+
+    @classmethod
+    def create(cls, dims: ArenaDims) -> "SharedArenaBuffers":
+        """Allocate a fresh zero-filled block (parent side)."""
+        shm = shared_memory.SharedMemory(create=True, size=dims.total_floats * _FLOAT.itemsize)
+        buffers = cls(shm, dims, owner=True)
+        np.ndarray((dims.total_floats,), dtype=_FLOAT, buffer=shm.buf).fill(0.0)
+        return buffers
+
+    @classmethod
+    def attach(cls, name: str, dims: ArenaDims) -> "SharedArenaBuffers":
+        """Map an existing block by name (worker side; never unlinks)."""
+        return cls(_attach(name), dims, owner=False)
+
+    def close(self, unlink: bool | None = None) -> None:
+        """Release the mapping; the owner also unlinks the segment.
+
+        Safe to call more than once.  Numpy views into the block become
+        invalid after the first call — drop them first.
+        """
+        # The views pin shm.buf; break our references so close() can
+        # release the memoryview without BufferError.
+        for attr in ("params", "parent_grad", "worker_grads", "task_grads", "losses"):
+            if hasattr(self, attr):
+                delattr(self, attr)
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        if unlink if unlink is not None else self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:
+        return f"SharedArenaBuffers(name={self.name!r}, dims={self.dims})"
+
+
+class SharedIndexBuffer:
+    """An int64 shared array carrying each step's batch index vector.
+
+    The parent writes the step's (already shuffled) sample indices into
+    ``indices[:n]``; workers slice ``indices[lo:hi]`` per the bounds in
+    their step command.  Capacity is the training batch size, so the block
+    is created per ``fit()``.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int, owner: bool) -> None:
+        self._shm = shm
+        self.capacity = capacity
+        self.owner = owner
+        self.name = shm.name
+        #: ``(capacity,)`` int64 — the current step's sample indices
+        self.indices = np.ndarray((capacity,), dtype=_INDEX, buffer=shm.buf)
+
+    @classmethod
+    def create(cls, capacity: int) -> "SharedIndexBuffer":
+        if capacity < 1:
+            raise ValueError(f"capacity must be ≥ 1; got {capacity}")
+        shm = shared_memory.SharedMemory(create=True, size=capacity * _INDEX.itemsize)
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "SharedIndexBuffer":
+        return cls(_attach(name), capacity, owner=False)
+
+    def close(self, unlink: bool | None = None) -> None:
+        """Release the mapping; the owner also unlinks (idempotent)."""
+        if hasattr(self, "indices"):
+            del self.indices
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        if unlink if unlink is not None else self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __repr__(self) -> str:
+        return f"SharedIndexBuffer(name={self.name!r}, capacity={self.capacity})"

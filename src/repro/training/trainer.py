@@ -58,20 +58,35 @@ see DESIGN.md ("Flight recorder").
 
 from __future__ import annotations
 
+import time
 import warnings
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..arch.base import MTLModel
 from ..core.balancer import GradientBalancer
-from ..data.base import MULTI_INPUT, SINGLE_INPUT, ArrayDataset, DataLoader, TaskSpec
+from ..data.base import (
+    MULTI_INPUT,
+    SINGLE_INPUT,
+    ArrayDataset,
+    DataLoader,
+    TaskSpec,
+    batch_index_iter,
+)
 from ..nn.arena import ParameterArena
 from ..nn.module import Parameter
 from ..nn.optim import SGD, Adam, AdaGrad, Optimizer, RMSProp
 from ..nn.tensor import Tensor, backward_multi
 from ..nn.utils import grad_vector, grad_vector_from_slots, set_grad_from_vector
 from ..obs import NULL_TELEMETRY, DynamicsRecorder, Profiler, Telemetry, default_sinks
+from ..parallel import (
+    ArenaDims,
+    ParallelExecutor,
+    SharedArenaBuffers,
+    WorkerSpec,
+    arena_order,
+)
 from .history import History
 
 __all__ = ["MTLTrainer"]
@@ -172,6 +187,39 @@ class MTLTrainer:
         :meth:`fit` completes (load it in ``chrome://tracing`` or
         Perfetto); a :class:`repro.obs.Profiler` instance attaches as-is
         (export it yourself).  Requires enabled telemetry.
+    accumulate_steps:
+        GCond-style accumulate-then-resolve window ``W``.  ``1`` (default)
+        resolves conflicts every step — bit-identical to the historical
+        per-step path.  ``W > 1`` sums the per-task gradient matrices and
+        losses over ``W`` micro-steps, then calls
+        :meth:`~repro.core.balancer.GradientBalancer.resolve_accumulated`
+        *once* (so stateful balancers — MoCoGrad momentum, DWA history —
+        advance once per resolve) and takes one optimizer step on the
+        window-mean gradients.  Works with every balancer, in both
+        single-process and parallel modes; requires
+        ``grad_source="params"``.
+    parallel:
+        ``0`` (default) trains in-process.  ``N ≥ 1`` creates the trainer's
+        arena over a :mod:`repro.parallel` shared-memory block and, inside
+        :meth:`fit`, runs each batch as ``N`` worker processes over
+        deterministic contiguous shards with a weighted flat-sum reduce —
+        the same batch stream as sequential training, matching it ≤ 1e-12.
+        Requires ``model_factory``, single-input mode,
+        ``grad_source="params"``, ``backward_mode="multi_root"`` and
+        ``use_arena=True``.  Call :meth:`close` (or use the trainer as a
+        context manager) to release the shared-memory block.
+    model_factory:
+        Zero-argument callable rebuilding the model *structure* in each
+        worker (same parameters, same order; values are adopted from the
+        shared buffer).  Must be picklable under the ``spawn`` start
+        method.  Required when ``parallel ≥ 1``.
+    start_method / worker_telemetry / step_timeout:
+        Parallel-mode knobs: the multiprocessing start method (default
+        ``fork`` where available, else ``spawn``); a base JSONL path giving
+        every worker its own telemetry sink (``run.jsonl`` →
+        ``run.worker<i>.jsonl``; merge with ``repro report``); and the
+        per-step barrier timeout in seconds before a silent worker is
+        declared crashed.
     record_dynamics:
         Per-step conflict-dynamics recording into a bounded
         :class:`repro.obs.DynamicsRecorder` (``trainer.recorder``):
@@ -202,6 +250,12 @@ class MTLTrainer:
         step_mode: str = "auto",
         profile: str | Profiler | None = None,
         record_dynamics: bool | int | DynamicsRecorder = False,
+        accumulate_steps: int = 1,
+        parallel: int = 0,
+        model_factory: Callable[[], MTLModel] | None = None,
+        start_method: str | None = None,
+        worker_telemetry: str | None = None,
+        step_timeout: float = 120.0,
     ) -> None:
         if mode not in (SINGLE_INPUT, MULTI_INPUT):
             raise ValueError(f"mode must be {SINGLE_INPUT!r} or {MULTI_INPUT!r}")
@@ -211,6 +265,23 @@ class MTLTrainer:
             raise ValueError("feature-level gradients require single-input MTL")
         if backward_mode not in ("multi_root", "per_task"):
             raise ValueError("backward_mode must be 'multi_root' or 'per_task'")
+        if accumulate_steps < 1:
+            raise ValueError(f"accumulate_steps must be ≥ 1; got {accumulate_steps}")
+        if accumulate_steps > 1 and grad_source != "params":
+            raise ValueError("accumulate_steps > 1 requires grad_source='params'")
+        if parallel < 0:
+            raise ValueError(f"parallel must be ≥ 0; got {parallel}")
+        if parallel:
+            if model_factory is None:
+                raise ValueError("parallel training requires a model_factory")
+            if mode != SINGLE_INPUT:
+                raise ValueError("parallel training requires single-input mode")
+            if grad_source != "params":
+                raise ValueError("parallel training requires grad_source='params'")
+            if backward_mode != "multi_root":
+                raise ValueError("parallel training requires backward_mode='multi_root'")
+            if not use_arena:
+                raise ValueError("parallel training requires use_arena=True")
         model_tasks = set(model.task_names)
         spec_tasks = {task.name for task in tasks}
         if model_tasks != spec_tasks:
@@ -221,9 +292,39 @@ class MTLTrainer:
         self.mode = mode
         self.grad_source = grad_source
         self.backward_mode = backward_mode
+        self.accumulate_steps = int(accumulate_steps)
+        self.parallel = int(parallel)
+        self.model_factory = model_factory
+        self._start_method = start_method
+        self._worker_telemetry = worker_telemetry
+        self._step_timeout = step_timeout
+        #: parent-owned shared-memory block (parallel mode), or None
+        self.shared_buffers: SharedArenaBuffers | None = None
         #: the contiguous parameter arena (None when ``use_arena=False`` or
         #: the model's existing packing could not be reused)
-        self.arena = _build_arena(model, model.shared_parameters()) if use_arena else None
+        if self.parallel:
+            # Parallel mode packs straight into the shared block so the
+            # fused optimizer step doubles as the parameter broadcast.
+            ordered, shared = arena_order(model)
+            dims = ArenaDims(
+                num_workers=self.parallel,
+                num_tasks=len(self.tasks),
+                dim_total=sum(p.size for p in ordered),
+                dim_shared=sum(p.size for p in shared),
+            )
+            self.shared_buffers = SharedArenaBuffers.create(dims)
+            try:
+                self.arena = ParameterArena(
+                    ordered,
+                    data=self.shared_buffers.params,
+                    grad=self.shared_buffers.parent_grad,
+                )
+            except Exception:
+                self.shared_buffers.close()
+                self.shared_buffers = None
+                raise
+        else:
+            self.arena = _build_arena(model, model.shared_parameters()) if use_arena else None
         # Flat view of the shared partition's gradients (the zero-copy
         # (d_shared,) slice the balancer path reads/writes), when contiguous.
         self._shared_grad_view = (
@@ -266,6 +367,34 @@ class MTLTrainer:
         # the matrix, so reuse is safe; `task_gradients` hands out fresh
         # matrices because its callers may keep them.
         self._grad_workspace: np.ndarray | None = None
+        # Accumulate-then-resolve state: running (K, d_shared) gradient sum,
+        # (K,) loss sum, and the micro-step count within the open window.
+        self._acc_grads: np.ndarray | None = None
+        self._acc_losses: np.ndarray | None = None
+        self._micro_steps = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the parallel shared-memory block (no-op otherwise).
+
+        Idempotent; required in parallel mode once the trainer is done —
+        shared-memory segments outlive the process if never unlinked.  The
+        model keeps its (now copied-out) parameters usable via
+        :meth:`~repro.nn.arena.ParameterArena.unpack`.
+        """
+        if self.shared_buffers is None:
+            return
+        if self.arena is not None:
+            self.arena.unpack()
+            self.arena = None
+        self.shared_buffers.close()
+        self.shared_buffers = None
+
+    def __enter__(self) -> "MTLTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _workspace(self, dim: int) -> np.ndarray:
         """The trainer-owned ``(K, d)`` gradient matrix, reused per step."""
@@ -318,6 +447,64 @@ class MTLTrainer:
                     grad_vector(shared, out=grads[k])
         return grads
 
+    def _resolve_or_accumulate(
+        self,
+        grads: np.ndarray,
+        losses: np.ndarray,
+        shared: list[Parameter],
+        telemetry: Telemetry,
+    ) -> None:
+        """Balance + step now, or fold this micro-step into the window.
+
+        ``accumulate_steps == 1`` is the historical per-step tail, call for
+        call.  With ``W > 1`` the per-task matrix and losses are summed;
+        model gradients accumulate naturally because micro-steps skip
+        ``zero_grad``.  When the window fills: scale the accumulated model
+        gradients to their window mean, resolve conflicts ONCE on the
+        accumulated matrix, overwrite the shared partition with the
+        balanced direction, and take a single optimizer step.  A window
+        left partially filled (e.g. at the end of ``fit``) stays open —
+        its micro-steps apply no update until the window completes.
+        """
+        if self.accumulate_steps == 1:
+            with telemetry.span("balance", method=self.balancer.name):
+                combined = self.balancer.balance(grads, losses)
+            set_grad_from_vector(shared, combined)
+            with telemetry.span("optimizer_step"):
+                self.optimizer.step()
+            self._zero_grad()
+            return
+        window = self.accumulate_steps
+        if self._acc_grads is None or self._acc_grads.shape != grads.shape:
+            self._acc_grads = np.zeros_like(grads)
+            self._acc_losses = np.zeros_like(losses)
+        self._acc_grads += grads
+        self._acc_losses += losses
+        self._micro_steps += 1
+        if self._micro_steps < window:
+            return
+        self._scale_grads(1.0 / window)
+        with telemetry.span("balance", method=self.balancer.name):
+            combined = self.balancer.resolve_accumulated(
+                self._acc_grads, self._acc_losses, window
+            )
+        set_grad_from_vector(shared, combined)
+        with telemetry.span("optimizer_step"):
+            self.optimizer.step()
+        self._zero_grad()
+        self._micro_steps = 0
+        self._acc_grads.fill(0.0)
+        self._acc_losses.fill(0.0)
+
+    def _scale_grads(self, scale: float) -> None:
+        """In-place scale of every model gradient (one vector op on arenas)."""
+        if self.arena is not None:
+            self.arena.grad *= scale
+        else:
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad *= scale
+
     # ------------------------------------------------------------------
     # Single optimization steps
     # ------------------------------------------------------------------
@@ -327,10 +514,14 @@ class MTLTrainer:
         with telemetry.span("step", **self._step_labels):
             self.model.train()
             shared = self.model.shared_parameters()
-            self._zero_grad()
+            if self.accumulate_steps == 1 or self._micro_steps == 0:
+                self._zero_grad()
 
             if self.grad_source == "features":
                 losses = self._collect_feature_grads(inputs, targets, shared)
+                with telemetry.span("optimizer_step"):
+                    self.optimizer.step()
+                self._zero_grad()
             else:
                 with telemetry.span("forward"):
                     outputs = self.model.forward_all(inputs)
@@ -343,13 +534,7 @@ class MTLTrainer:
                 with telemetry.span("backward"):
                     self._collect_param_grads(loss_tensors, shared, grads, telemetry)
                 self._record_conflicts(grads)
-                with telemetry.span("balance", method=self.balancer.name):
-                    combined = self.balancer.balance(grads, losses)
-                set_grad_from_vector(shared, combined)
-
-            with telemetry.span("optimizer_step"):
-                self.optimizer.step()
-            self._zero_grad()
+                self._resolve_or_accumulate(grads, losses, shared, telemetry)
         self._finish_step(losses)
         return losses
 
@@ -400,7 +585,8 @@ class MTLTrainer:
         with telemetry.span("step", **self._step_labels):
             self.model.train()
             shared = self.model.shared_parameters()
-            self._zero_grad()
+            if self.accumulate_steps == 1 or self._micro_steps == 0:
+                self._zero_grad()
             losses = np.empty(len(self.tasks))
             loss_tensors = []
             with telemetry.span("forward"):
@@ -414,12 +600,7 @@ class MTLTrainer:
             with telemetry.span("backward"):
                 self._collect_param_grads(loss_tensors, shared, grads, telemetry)
             self._record_conflicts(grads)
-            with telemetry.span("balance", method=self.balancer.name):
-                combined = self.balancer.balance(grads, losses)
-            set_grad_from_vector(shared, combined)
-            with telemetry.span("optimizer_step"):
-                self.optimizer.step()
-            self._zero_grad()
+            self._resolve_or_accumulate(grads, losses, shared, telemetry)
         self._finish_step(losses)
         return losses
 
@@ -509,15 +690,29 @@ class MTLTrainer:
         ``train_data`` is an :class:`ArrayDataset` (single-input) or a
         ``{task: ArrayDataset}`` mapping (multi-input).  On completion the
         trainer's metric registry is flushed to the attached sinks.
+
+        In parallel mode the worker pool is started on entry and shut down
+        before returning (even on error), so workers never outlive a fit.
         """
-        for _ in range(epochs):
-            if self.mode == SINGLE_INPUT:
-                self._run_epoch_single(train_data, batch_size, max_steps_per_epoch)
-            else:
-                self._run_epoch_multi(train_data, batch_size, max_steps_per_epoch)
-            metrics = self.evaluate(eval_data) if eval_data is not None else None
-            self.history.close_epoch(metrics)
-            self.telemetry.counter("train_epochs_total", **self._step_labels).inc()
+        executor = None
+        if self.parallel:
+            executor = self._start_executor(train_data, batch_size)
+        try:
+            for _ in range(epochs):
+                if executor is not None:
+                    self._run_epoch_parallel(
+                        executor, train_data, batch_size, max_steps_per_epoch
+                    )
+                elif self.mode == SINGLE_INPUT:
+                    self._run_epoch_single(train_data, batch_size, max_steps_per_epoch)
+                else:
+                    self._run_epoch_multi(train_data, batch_size, max_steps_per_epoch)
+                metrics = self.evaluate(eval_data) if eval_data is not None else None
+                self.history.close_epoch(metrics)
+                self.telemetry.counter("train_epochs_total", **self._step_labels).inc()
+        finally:
+            if executor is not None:
+                executor.shutdown()
         self.flush_dynamics()
         self.telemetry.flush()
         if self.profiler is not None and self._profile_path is not None:
@@ -536,6 +731,80 @@ class MTLTrainer:
         meta = {"tasks": [task.name for task in self.tasks]}
         for event in self.recorder.to_events(meta=meta):
             self.telemetry.emit(event)
+
+    # ------------------------------------------------------------------
+    # Parallel (shared-memory data-parallel) training
+    # ------------------------------------------------------------------
+    def _start_executor(self, dataset: ArrayDataset, batch_size: int) -> ParallelExecutor:
+        """Spawn the worker pool for one ``fit`` over ``dataset``."""
+        spec = WorkerSpec(
+            model_factory=self.model_factory,
+            task_names=[task.name for task in self.tasks],
+            loss_fns=[task.loss_fn for task in self.tasks],
+            dataset=dataset,
+            telemetry_base=self._worker_telemetry,
+        )
+        return ParallelExecutor(
+            spec,
+            self.shared_buffers,
+            batch_size,
+            start_method=self._start_method,
+            step_timeout=self._step_timeout,
+        )
+
+    def _run_epoch_parallel(
+        self, executor: ParallelExecutor, dataset: ArrayDataset, batch_size: int, max_steps
+    ) -> None:
+        # Same generator calls as the sequential DataLoader — parallel and
+        # sequential runs with equal seeds walk identical batch streams.
+        for step, idx in enumerate(
+            batch_index_iter(len(dataset), batch_size, rng=self.rng)
+        ):
+            if max_steps is not None and step >= max_steps:
+                break
+            self._parallel_train_step(executor, idx)
+
+    def _parallel_train_step(
+        self, executor: ParallelExecutor, batch_indices: np.ndarray
+    ) -> np.ndarray:
+        """One data-parallel step: dispatch → barrier → reduce → resolve.
+
+        The workers produce weighted shard gradients whose flat-sum equals
+        the sequential whole-batch gradient (per-sample mean losses compose
+        exactly under ``n_w / n`` weights); the balancer and optimizer then
+        run exactly as in the single-process step.  Raises
+        :class:`~repro.parallel.WorkerCrashed` if a worker dies mid-step.
+        """
+        telemetry = self.telemetry
+        shared = self.model.shared_parameters()
+        with telemetry.span("step", **self._step_labels):
+            self.model.train()
+            with telemetry.span("dispatch"):
+                executor.dispatch(
+                    self.step_count, np.ascontiguousarray(batch_indices, dtype=np.int64)
+                )
+            wait_started = time.perf_counter()
+            with telemetry.span("shard_compute"):
+                busy_seconds = executor.wait(self.step_count)
+            wait_wall = time.perf_counter() - wait_started
+            if telemetry.enabled and wait_wall > 0:
+                for worker, busy in enumerate(busy_seconds):
+                    telemetry.gauge("parallel_worker_utilization", worker=str(worker)).set(
+                        min(busy / wait_wall, 1.0)
+                    )
+            grads = self._workspace(sum(p.size for p in shared))
+            losses = np.empty(len(self.tasks))
+            with telemetry.span("reduce"):
+                executor.reduce(
+                    grads,
+                    self.arena.grad,
+                    losses,
+                    accumulate_full=self.accumulate_steps > 1,
+                )
+            self._record_conflicts(grads)
+            self._resolve_or_accumulate(grads, losses, shared, telemetry)
+        self._finish_step(losses)
+        return losses
 
     def _run_epoch_single(self, dataset: ArrayDataset, batch_size: int, max_steps) -> None:
         loader = DataLoader(dataset, batch_size, rng=self.rng)

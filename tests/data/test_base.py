@@ -144,3 +144,69 @@ class TestBenchmark:
     def test_invalid_mode(self):
         with pytest.raises(ValueError):
             self._dummy(mode="both")
+
+
+class TestDeterministicSeeding:
+    def test_shard_rng_is_seed_plus_index(self):
+        from repro.data import shard_rng
+
+        expected = np.random.default_rng(5 + 3).random(8)
+        np.testing.assert_array_equal(shard_rng(5, 3).random(8), expected)
+
+    def test_shard_rng_rejects_missing_seed(self):
+        from repro.data import shard_rng
+
+        with pytest.raises(ValueError, match="seed"):
+            shard_rng(None, 0)
+
+    def test_shard_rng_rejects_negative_shard(self):
+        from repro.data import shard_rng
+
+        with pytest.raises(ValueError, match="shard_index"):
+            shard_rng(0, -1)
+
+    def test_batch_index_iter_covers_each_sample_once(self):
+        from repro.data import batch_index_iter
+
+        batches = list(batch_index_iter(10, 4, rng=np.random.default_rng(1)))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert sorted(np.concatenate(batches)) == list(range(10))
+
+    def test_batch_index_iter_drop_last(self):
+        from repro.data import batch_index_iter
+
+        batches = list(
+            batch_index_iter(10, 4, rng=np.random.default_rng(1), drop_last=True)
+        )
+        assert [len(b) for b in batches] == [4, 4]
+
+    def test_batch_index_iter_no_shuffle_is_sequential(self):
+        from repro.data import batch_index_iter
+
+        batches = list(batch_index_iter(6, 3, shuffle=False))
+        np.testing.assert_array_equal(batches[0], [0, 1, 2])
+        np.testing.assert_array_equal(batches[1], [3, 4, 5])
+
+    def test_loader_and_index_iter_share_one_stream(self, rng):
+        """The loader's batch order IS batch_index_iter over the same rng."""
+        from repro.data import batch_index_iter
+
+        inputs = np.arange(20, dtype=np.float64).reshape(10, 2)
+        dataset = ArrayDataset(inputs, {"t": np.zeros(10)})
+        loader = DataLoader(dataset, 4, seed=13)
+        indices = batch_index_iter(10, 4, rng=np.random.default_rng(13))
+        for (batch_inputs, _targets), idx in zip(loader, indices):
+            np.testing.assert_array_equal(batch_inputs, inputs[idx])
+
+    def test_unseeded_loaders_are_reproducible(self):
+        """Regression: the rng=None fallback must not draw OS entropy."""
+        dataset = ArrayDataset(np.arange(12, dtype=np.float64).reshape(12, 1), np.zeros(12))
+        first = [b for b, _ in DataLoader(dataset, 5)]
+        second = [b for b, _ in DataLoader(dataset, 5)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_loader_rejects_rng_and_seed_together(self):
+        dataset = ArrayDataset(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(ValueError, match="rng or seed"):
+            DataLoader(dataset, 2, rng=np.random.default_rng(0), seed=1)

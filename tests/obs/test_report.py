@@ -154,3 +154,91 @@ class TestEndToEndRoundtrip:
         from_file = load_events(path)
         assert len(from_file) == len(memory.events)
         assert [e["type"] for e in from_file] == [e["type"] for e in memory.events]
+
+
+class TestLoadRunEvents:
+    def test_single_path_is_plain_load(self, tmp_path):
+        from repro.obs import load_run_events
+
+        path = str(tmp_path / "run.jsonl")
+        events = [{"type": "span", "path": "step", "seconds": 0.1, "tid": 1}]
+        write_jsonl(path, events)
+        assert load_run_events(path) == events
+        assert load_run_events([path]) == events
+
+    def test_multi_file_namespaces_tids(self, tmp_path):
+        from repro.obs import load_run_events
+
+        parent, worker = str(tmp_path / "run.jsonl"), str(tmp_path / "run.worker0.jsonl")
+        write_jsonl(parent, [{"type": "metric", "kind": "counter", "name": "c",
+                              "labels": {}, "value": 1, "tid": 1}])
+        write_jsonl(worker, [{"type": "metric", "kind": "counter", "name": "c",
+                              "labels": {}, "value": 2, "tid": 1}])
+        events = load_run_events([parent, worker])
+        assert [e["tid"] for e in events] == ["0:1", "1:1"]
+
+    def test_colliding_tids_sum_instead_of_overwriting(self, tmp_path):
+        """Forked workers can share a tid; merged counters must still add."""
+        from repro.obs import load_run_events
+
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"run.worker{index}.jsonl")
+            write_jsonl(path, [{"type": "metric", "kind": "counter", "name": "steps",
+                                "labels": {}, "value": 3, "tid": 7}])
+            paths.append(path)
+        summary = summarize_events(load_run_events(paths))
+        assert summary["counters"]["steps"][()] == pytest.approx(6.0)
+
+    def test_empty_path_list_rejected(self):
+        from repro.obs import load_run_events
+
+        with pytest.raises(ValueError, match="at least one"):
+            load_run_events([])
+
+
+def _histogram_event(tid, count, total, bucket_counts, bounds=(0.1, 1.0, float("inf"))):
+    return {
+        "type": "metric", "kind": "histogram", "name": "latency",
+        "labels": {"op": "step"}, "tid": tid, "count": count, "sum": total,
+        "buckets": [{"le": le, "count": c} for le, c in zip(bounds, bucket_counts)],
+    }
+
+
+class TestHistogramPooling:
+    def test_matching_bounds_pool_elementwise(self):
+        summary = summarize_events([
+            _histogram_event(1, 3, 0.6, [1, 2, 0]),
+            _histogram_event(2, 2, 1.4, [0, 1, 1]),
+        ])
+        stats = summary["histograms"]["latency"][(("op", "step"),)]
+        assert stats["count"] == 5
+        assert stats["sum"] == pytest.approx(2.0)
+        assert stats["mean"] == pytest.approx(0.4)
+        assert [b["count"] for b in stats["buckets"]] == [1, 3, 1]
+
+    def test_repeated_snapshots_from_one_tid_keep_last(self):
+        # Histogram snapshots are cumulative per instance, like counters.
+        summary = summarize_events([
+            _histogram_event(1, 3, 0.6, [1, 2, 0]),
+            _histogram_event(1, 5, 1.0, [2, 3, 0]),
+        ])
+        stats = summary["histograms"]["latency"][(("op", "step"),)]
+        assert stats["count"] == 5
+        assert [b["count"] for b in stats["buckets"]] == [2, 3, 0]
+
+    def test_mismatched_bounds_drop_buckets_keep_totals(self):
+        summary = summarize_events([
+            _histogram_event(1, 3, 0.6, [1, 2, 0]),
+            _histogram_event(2, 2, 1.4, [0, 1, 1], bounds=(0.5, 2.0, float("inf"))),
+        ])
+        stats = summary["histograms"]["latency"][(("op", "step"),)]
+        assert stats["count"] == 5
+        assert stats["sum"] == pytest.approx(2.0)
+        assert stats["buckets"] is None
+
+    def test_report_renders_pooled_histograms(self):
+        summary = summarize_events([_histogram_event(1, 3, 0.6, [1, 2, 0])])
+        report = format_report(summary)
+        assert "Histograms" in report
+        assert "latency" in report

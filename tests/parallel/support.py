@@ -1,0 +1,77 @@
+"""Module-level factories and losses for the parallel test suite.
+
+Everything a worker needs under the ``spawn`` start method must be
+picklable by reference, so the factories and loss functions live here at
+module level (pytest imports this as ``tests.parallel.support``, which
+spawned children can re-import).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.arch import MMoE, LinearHead, MLPEncoder
+from repro.data import TaskSpec, make_synthetic_mtl
+
+NUM_TASKS = 4
+IN_FEATURES = 20
+HIDDEN = 24
+
+#: clearly-conflicting synthetic tasks (negative pairwise cosine) so the
+#: conflict-aware balancers exercise their calibration paths
+BENCH = make_synthetic_mtl(
+    num_tasks=NUM_TASKS,
+    num_samples=512,
+    in_features=IN_FEATURES,
+    pairwise_cosine=-0.2,
+    hidden=(HIDDEN,),
+    seed=7,
+)
+
+
+def hps_factory():
+    return BENCH.build_model("hps", np.random.default_rng(7))
+
+
+def mmoe_factory():
+    rng = np.random.default_rng(7)
+    return MMoE(
+        expert_factory=lambda: MLPEncoder(IN_FEATURES, [HIDDEN], rng),
+        num_experts=3,
+        heads={f"task{k}": LinearHead(HIDDEN, 1, rng) for k in range(NUM_TASKS)},
+        gate_in_features=IN_FEATURES,
+        rng=rng,
+    )
+
+
+FACTORIES = {"hps": hps_factory, "mmoe": mmoe_factory}
+
+
+def exiting_loss(pred, target):
+    """Kills the worker process outright (no exception, no ack)."""
+    os._exit(23)
+
+
+def erroring_loss(pred, target):
+    raise ValueError("intentional failure for the crash test")
+
+
+def slow_loss(pred, target):
+    time.sleep(30.0)
+    raise RuntimeError("slow_loss should have been timed out")
+
+
+def tasks_with_first_loss(loss_fn) -> list[TaskSpec]:
+    """The benchmark's tasks with task0's loss swapped for ``loss_fn``."""
+    return [
+        TaskSpec(
+            task.name,
+            loss_fn if index == 0 else task.loss_fn,
+            dict(task.metrics),
+            dict(task.higher_is_better),
+        )
+        for index, task in enumerate(BENCH.tasks)
+    ]

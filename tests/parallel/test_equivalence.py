@@ -1,0 +1,92 @@
+"""Parallel training must match the sequential oracle to ≤ 1e-12.
+
+The determinism contract (see ``repro.parallel.sharder``): the parent
+draws batches from the same RNG stream as a sequential ``DataLoader``,
+shards them contiguously, and reduces with exact ``n_w / n`` weights —
+so N-worker runs reproduce the sequential parameter trajectory up to
+floating-point reassociation of the per-shard sums.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import create_balancer
+from repro.nn.utils import parameter_vector
+from repro.training import MTLTrainer
+
+from tests.parallel import support
+
+TOL = 1e-12
+
+
+def _train(
+    factory,
+    balancer: str,
+    *,
+    workers: int = 0,
+    steps: int = 6,
+    accumulate: int = 1,
+    optimizer: str = "sgd",
+    start_method: str | None = None,
+) -> np.ndarray:
+    model = factory()
+    kwargs = {}
+    if workers:
+        kwargs.update(
+            parallel=workers, model_factory=factory, start_method=start_method
+        )
+    trainer = MTLTrainer(
+        model,
+        support.BENCH.tasks,
+        create_balancer(balancer, seed=3),
+        seed=11,
+        optimizer=optimizer,
+        accumulate_steps=accumulate,
+        **kwargs,
+    )
+    try:
+        trainer.fit(
+            support.BENCH.train, epochs=1, batch_size=64, max_steps_per_epoch=steps
+        )
+    finally:
+        trainer.close()
+    return parameter_vector(model.parameters())
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("balancer", ["mocograd", "pcgrad"])
+@pytest.mark.parametrize("arch", ["hps", "mmoe"])
+def test_parallel_matches_sequential(arch, balancer, workers):
+    factory = support.FACTORIES[arch]
+    sequential = _train(factory, balancer)
+    parallel = _train(factory, balancer, workers=workers)
+    assert float(np.max(np.abs(sequential - parallel))) <= TOL
+
+
+def test_parallel_matches_sequential_adam():
+    sequential = _train(support.hps_factory, "mocograd", optimizer="adam")
+    parallel = _train(support.hps_factory, "mocograd", workers=2, optimizer="adam")
+    assert float(np.max(np.abs(sequential - parallel))) <= TOL
+
+
+def test_parallel_accumulate_matches_sequential_accumulate():
+    sequential = _train(support.hps_factory, "mocograd", accumulate=2, steps=8)
+    parallel = _train(
+        support.hps_factory, "mocograd", workers=2, accumulate=2, steps=8
+    )
+    assert float(np.max(np.abs(sequential - parallel))) <= TOL
+
+
+def test_parallel_matches_sequential_spawn():
+    """Lean spawn-start-method case; CI selects it with ``-k spawn``."""
+    sequential = _train(support.hps_factory, "mocograd", steps=3)
+    parallel = _train(
+        support.hps_factory, "mocograd", workers=2, steps=3, start_method="spawn"
+    )
+    assert float(np.max(np.abs(sequential - parallel))) <= TOL
+
+
+def test_parallel_training_actually_moves_parameters():
+    before = parameter_vector(support.hps_factory().parameters())
+    after = _train(support.hps_factory, "mocograd", workers=2, steps=2)
+    assert float(np.max(np.abs(after - before))) > 0.0

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.parallel import shard_bounds, shard_weights
+
+
+def test_shard_bounds_even_split():
+    assert shard_bounds(64, 4) == [0, 16, 32, 48, 64]
+
+
+def test_shard_bounds_remainder_goes_to_leading_shards():
+    # 10 over 4 → sizes 3, 3, 2, 2
+    assert shard_bounds(10, 4) == [0, 3, 6, 8, 10]
+
+
+def test_shard_bounds_more_workers_than_samples():
+    bounds = shard_bounds(2, 4)
+    assert bounds == [0, 1, 2, 2, 2]
+    sizes = np.diff(bounds)
+    assert sizes.sum() == 2 and sizes.max() <= 1
+
+
+def test_shard_bounds_empty_batch():
+    assert shard_bounds(0, 3) == [0, 0, 0, 0]
+
+
+def test_shard_bounds_cover_every_sample():
+    for n in range(0, 40):
+        for w in range(1, 6):
+            bounds = shard_bounds(n, w)
+            assert len(bounds) == w + 1
+            assert bounds[0] == 0 and bounds[-1] == n
+            sizes = np.diff(bounds)
+            assert (sizes >= 0).all()
+            assert sizes.max() - sizes.min() <= 1
+
+
+def test_shard_bounds_validation():
+    with pytest.raises(ValueError):
+        shard_bounds(8, 0)
+    with pytest.raises(ValueError):
+        shard_bounds(-1, 2)
+
+
+def test_shard_weights_sum_to_one():
+    weights = shard_weights([0, 3, 6, 8, 10])
+    np.testing.assert_allclose(weights, [0.3, 0.3, 0.2, 0.2])
+    assert float(np.sum(weights)) == pytest.approx(1.0)
+
+
+def test_shard_weights_power_of_two_split_is_exact():
+    weights = shard_weights([0, 16, 32, 48, 64])
+    assert all(w == 0.25 for w in weights)
+
+
+def test_shard_weights_empty_batch_all_zero():
+    weights = shard_weights([0, 0, 0, 0])
+    assert not np.any(weights)

@@ -1,0 +1,147 @@
+"""GCond-style gradient accumulation: sum W micro-steps, resolve once.
+
+Contracts under test (see ``MTLTrainer(accumulate_steps=W)``):
+
+- ``W=1`` is bitwise-identical to the historical per-step path for every
+  registered balancer;
+- the matrix handed to the balancer at a window boundary is the exact
+  mean of the window's per-micro-step task-gradient matrices;
+- stateful balancers (MoCoGrad momentum) advance once per *resolve*, not
+  once per micro-step;
+- a trailing partial window never updates parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import available_balancers, create_balancer
+from repro.data import make_synthetic_mtl
+from repro.nn.utils import parameter_vector
+from repro.training import MTLTrainer
+
+ALL_METHODS = sorted(available_balancers())
+
+BENCH = make_synthetic_mtl(
+    num_tasks=3, num_samples=256, pairwise_cosine=-0.3, seed=5
+)
+
+
+def factory():
+    return BENCH.build_model("hps", np.random.default_rng(5))
+
+
+def _fit(balancer_name, *, steps, accumulate=1, record_into=None):
+    model = factory()
+    balancer = create_balancer(balancer_name, seed=0)
+    if record_into is not None:
+        original = balancer.balance
+
+        def recording(grads, losses):
+            record_into.append((np.copy(grads), np.copy(losses)))
+            return original(grads, losses)
+
+        balancer.balance = recording
+    trainer = MTLTrainer(
+        model,
+        BENCH.tasks,
+        balancer,
+        seed=9,
+        optimizer="sgd",
+        accumulate_steps=accumulate,
+    )
+    trainer.fit(BENCH.train, epochs=1, batch_size=16, max_steps_per_epoch=steps)
+    return trainer
+
+
+def _train(balancer_name, *, steps, accumulate=1, record_into=None):
+    trainer = _fit(
+        balancer_name, steps=steps, accumulate=accumulate, record_into=record_into
+    )
+    return parameter_vector(trainer.model.parameters())
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_accumulate_one_is_bitwise_identical(method):
+    baseline = _train(method, steps=4)
+    windowed = _train(method, steps=4, accumulate=1)
+    assert np.array_equal(baseline, windowed)
+
+
+def test_window_matrix_is_mean_of_micro_step_matrices():
+    # Probe oracle: a W=3 run stopped after 2 micro-steps never resolves,
+    # so its parameters never move and ``_acc_grads`` holds the exact
+    # two-micro-step sum the W=2 run hands to the balancer (scaled 1/W).
+    probe = _fit("mocograd", steps=2, accumulate=3)
+    assert probe._micro_steps == 2
+    windowed = []
+    _fit("mocograd", steps=2, accumulate=2, record_into=windowed)
+    assert len(windowed) == 1
+    assert np.array_equal(windowed[0][0], probe._acc_grads * 0.5)
+    assert np.array_equal(windowed[0][1], probe._acc_losses * 0.5)
+
+
+def test_momentum_advances_once_per_window():
+    calls = []
+    _train("mocograd", steps=8, accumulate=4, record_into=calls)
+    assert len(calls) == 2  # 8 micro-steps / W=4 → exactly 2 resolves
+
+
+def test_partial_window_does_not_update_parameters():
+    complete = _train("mocograd", steps=2, accumulate=2)
+    with_partial_tail = _train("mocograd", steps=3, accumulate=2)
+    assert np.array_equal(complete, with_partial_tail)
+
+
+def test_incomplete_first_window_leaves_parameters_untouched():
+    initial = parameter_vector(factory().parameters())
+    after_one_micro_step = _train("mocograd", steps=1, accumulate=4)
+    assert np.array_equal(initial, after_one_micro_step)
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_accumulate_window_trains_every_balancer(method):
+    initial = parameter_vector(factory().parameters())
+    trained = _train(method, steps=4, accumulate=2)
+    assert np.all(np.isfinite(trained))
+    assert float(np.max(np.abs(trained - initial))) > 0.0
+
+
+def test_resolve_accumulated_window_one_is_plain_balance():
+    rng = np.random.default_rng(0)
+    grads = rng.standard_normal((3, 20))
+    losses = rng.random(3)
+    for method in ("equal", "pcgrad"):
+        direct = create_balancer(method, seed=0).balance(grads, losses)
+        resolved = create_balancer(method, seed=0).resolve_accumulated(
+            grads, losses, window=1
+        )
+        assert np.array_equal(direct, resolved)
+
+
+def test_resolve_accumulated_scales_by_window():
+    grads = np.ones((2, 8))
+    losses = np.ones(2)
+    balancer = create_balancer("equal", seed=0)
+    resolved = balancer.resolve_accumulated(grads * 4.0, losses * 4.0, window=4)
+    assert np.array_equal(resolved, balancer.balance(grads, losses))
+
+
+def test_resolve_accumulated_rejects_bad_window():
+    balancer = create_balancer("equal", seed=0)
+    with pytest.raises(ValueError, match="window"):
+        balancer.resolve_accumulated(np.ones((2, 4)), np.ones(2), window=0)
+
+
+def test_trainer_rejects_bad_accumulate_config():
+    with pytest.raises(ValueError, match="accumulate_steps"):
+        MTLTrainer(
+            factory(), BENCH.tasks, create_balancer("equal", seed=0), accumulate_steps=0
+        )
+    with pytest.raises(ValueError, match="grad_source"):
+        MTLTrainer(
+            factory(),
+            BENCH.tasks,
+            create_balancer("equal", seed=0),
+            grad_source="features",
+            accumulate_steps=2,
+        )
