@@ -1,0 +1,164 @@
+"""Feature-space balancing microbenchmark: O(K·d) → O(K·d_feat).
+
+Measures the ``step/balance`` telemetry span (the balancer's own work —
+no forward, backward, or optimizer time) of ``MTLTrainer`` under both
+gradient spaces on a single-input hard-parameter-sharing problem whose
+shared-parameter count ``d`` grows with the trunk width while the
+representation stays fixed at ``batch × feat``, and writes
+``BENCH_feature_space.json`` at the repository root.
+
+This is the paper's §VI-C argument made concrete: MoCoGrad's momentum
+update, calibration, and Gram work all scale with the matrix width, so
+balancing ``(K, d_feat)`` feature gradients decouples that cost from
+model size.  At the widest trunk ``d ≈ 190 × d_feat`` and the balance
+span must be faster in feature space; whole-step time also improves
+because K trunk backprops collapse into one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_feature_space.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the run for CI and exits non-zero if feature-space
+balancing is not faster (balance_speedup < 1.0) at the largest trunk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+from benchlib import provenance
+
+from repro.arch import HardParameterSharing, LinearHead, MLPEncoder
+from repro.core.balancer import create_balancer
+from repro.data import TaskSpec
+from repro.nn.functional import mse_loss
+from repro.obs import Telemetry
+from repro.training import MTLTrainer
+
+NUM_TASKS = 6
+BATCH = 64
+IN_DIM = 64
+FEAT = 32
+HIDDEN_WIDTHS = (64, 1024, 4096)
+
+
+def build_trainer(hidden: int, grad_space: str) -> MTLTrainer:
+    names = [f"t{k}" for k in range(NUM_TASKS)]
+    tasks = [TaskSpec(name, mse_loss, {}, {}) for name in names]
+    model = HardParameterSharing(
+        MLPEncoder(IN_DIM, [hidden, FEAT], np.random.default_rng(1)),
+        {name: LinearHead(FEAT, 1, np.random.default_rng(2)) for name in names},
+    )
+    return MTLTrainer(
+        model,
+        tasks,
+        create_balancer("mocograd", seed=0),
+        grad_space=grad_space,
+        seed=0,
+        telemetry=Telemetry(),
+    )
+
+
+def median_span_seconds(hidden: int, grad_space: str, steps: int, warmup: int) -> dict:
+    """Median ``step`` and ``step/balance`` span durations over ``steps``."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(BATCH, IN_DIM))
+    targets = {f"t{k}": rng.normal(size=BATCH) for k in range(NUM_TASKS)}
+    trainer = build_trainer(hidden, grad_space)
+    for _ in range(warmup + steps):
+        trainer.train_step_single(x, targets)
+    telemetry = trainer.telemetry
+    return {
+        "step": float(np.median(telemetry.durations("step")[warmup:])),
+        "balance": float(np.median(telemetry.durations("step/balance")[warmup:])),
+        "dim": sum(p.size for p in trainer.model.shared_parameters()),
+    }
+
+
+def run(steps: int, warmup: int) -> dict:
+    results = []
+    for hidden in HIDDEN_WIDTHS:
+        params = median_span_seconds(hidden, "parameters", steps, warmup)
+        features = median_span_seconds(hidden, "features", steps, warmup)
+        results.append(
+            {
+                "hidden": hidden,
+                "dim_shared": params["dim"],
+                "dim_feature": BATCH * FEAT,
+                "param_balance_seconds": params["balance"],
+                "feature_balance_seconds": features["balance"],
+                "param_step_seconds": params["step"],
+                "feature_step_seconds": features["step"],
+                "balance_speedup": params["balance"] / features["balance"],
+                "step_speedup": params["step"] / features["step"],
+            }
+        )
+    return {
+        "benchmark": "feature_space",
+        "workload": {
+            "num_tasks": NUM_TASKS,
+            "batch": BATCH,
+            "in_dim": IN_DIM,
+            "feat": FEAT,
+            "hidden_widths": list(HIDDEN_WIDTHS),
+            "balancer": "mocograd",
+            "steps": steps,
+            "warmup": warmup,
+        },
+        **provenance(),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run; fail (exit 1) if feature-space balancing is "
+        "slower than parameter-space at the largest trunk",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_feature_space.json",
+        help="output JSON path (default: <repo root>/BENCH_feature_space.json)",
+    )
+    args = parser.parse_args(argv)
+
+    steps, warmup = (10, 3) if args.smoke else (30, 8)
+    report = run(steps, warmup)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"{'d':>8} {'d_feat':>7} {'param bal (ms)':>15} {'feat bal (ms)':>14} "
+        f"{'bal speedup':>12} {'step speedup':>13}"
+    )
+    for row in report["results"]:
+        print(
+            f"{row['dim_shared']:>8} {row['dim_feature']:>7} "
+            f"{row['param_balance_seconds'] * 1e3:>15.3f} "
+            f"{row['feature_balance_seconds'] * 1e3:>14.3f} "
+            f"{row['balance_speedup']:>11.2f}x {row['step_speedup']:>12.2f}x"
+        )
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        largest = report["results"][-1]
+        if largest["balance_speedup"] < 1.0:
+            print(
+                "FAIL: feature-space balancing slower than parameter-space "
+                f"at d = {largest['dim_shared']} "
+                f"({largest['balance_speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

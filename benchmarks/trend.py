@@ -16,7 +16,9 @@ Tracked metrics (label → speedup):
 - ``optim/train_step`` — arena vs no-arena whole train step;
 - ``parallel/K{K}/W{W}`` — W shared-memory workers vs sequential (only
   recorded when the host has at least W usable cores — see
-  ``bench_parallel.py``).
+  ``bench_parallel.py``);
+- ``feature_space/d{d}`` — feature-space vs parameter-space balancing
+  cost at shared-parameter count d (``bench_feature_space.py``).
 
 Speedup ratios are self-normalizing (both sides of each ratio run on the
 same machine in the same process), so history entries from different
@@ -85,6 +87,11 @@ def extract_metrics(report: dict) -> dict[str, float]:
                 metrics[f"parallel/K{row['num_tasks']}/W{row['workers']}"] = float(
                     row["speedup"]
                 )
+    elif kind == "feature_space":
+        for row in report.get("results", []):
+            metrics[f"feature_space/d{row['dim_shared']}"] = float(
+                row["balance_speedup"]
+            )
     return metrics
 
 

@@ -132,6 +132,7 @@ def _run_train(args) -> str:
         model,
         benchmark.tasks,
         create_balancer(args.balancer, seed=args.seed),
+        grad_space=args.grad_space,
         seed=args.seed,
         profile=args.profile,
         record_dynamics=args.record_dynamics,
@@ -214,6 +215,13 @@ def main(argv: list[str] | None = None) -> int:
         help="train: record per-step conflict dynamics (stream with --telemetry)",
     )
     train.add_argument("--balancer", default="mocograd", help="train: balancer name")
+    train.add_argument(
+        "--grad-space",
+        choices=("parameters", "features"),
+        default="parameters",
+        help="train: balance shared-parameter gradients (K×d) or "
+        "shared-representation gradients (K×d_feat, one trunk backprop)",
+    )
     train.add_argument("--steps", type=int, default=200, help="train: optimization steps")
     train.add_argument("--tasks", type=int, default=4, help="train: task count K")
     train.add_argument("--seed", type=int, default=0, help="train: RNG seed")

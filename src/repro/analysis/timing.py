@@ -8,7 +8,7 @@ Nash-MTL slowest (inner solve), MGDA/CAGrad in between, the
 projection-style methods (PCGrad, GradVac, MoCoGrad) comparable to plain
 joint training.
 
-Also exposes the paper's feature-level speedup (``grad_source="features"``)
+Also exposes the paper's feature-level speedup (``grad_space="features"``)
 for comparison.
 """
 
@@ -32,12 +32,12 @@ def backward_time_study(
     batch_size: int = 128,
     lr: float = 1e-3,
     seed: int = 0,
-    grad_source: str = "params",
+    grad_space: str = "parameters",
 ) -> dict:
     """Median step/backward seconds per method from telemetry spans.
 
     Returns ``{"seconds_per_step": {method: s}, "backward_seconds_per_step":
-    {method: s}, "steps": n, "grad_source": ...}``.
+    {method: s}, "steps": n, "grad_space": ...}``.
     """
     benchmark = make_aliexpress("ES", num_records=num_records, seed=seed)
     step_timings: dict[str, float] = {}
@@ -51,7 +51,7 @@ def backward_time_study(
             benchmark.tasks,
             create_balancer(method, seed=seed),
             mode=benchmark.mode,
-            grad_source=grad_source,
+            grad_space=grad_space,
             lr=lr,
             seed=seed,
             telemetry=Telemetry(),
@@ -70,5 +70,5 @@ def backward_time_study(
         "seconds_per_step": step_timings,
         "backward_seconds_per_step": backward_timings,
         "steps": steps,
-        "grad_source": grad_source,
+        "grad_space": grad_space,
     }

@@ -49,8 +49,25 @@ class MTLModel(Module):
     def shared_features(self, x) -> Tensor:
         """The shared representation ``z`` (for feature-level gradients).
 
-        Only architectures with a single shared trunk (HPS) support this;
-        others raise, and the trainer falls back to parameter gradients.
+        Architectures whose shared parameters all feed a *single* cut
+        tensor implement this (HPS, MMoE, CGC, CrossStitch) — the trainer's
+        ``grad_space="features"`` mode balances per-task gradients of ``z``
+        and back-propagates the trunk once.  Architectures with several
+        differently-shaped shared boundary tensors (MTAN, PLE) raise, and
+        only support parameter-space balancing.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no single shared representation")
+
+    def forward_heads(self, features: Tensor, x=None) -> dict[str, Tensor]:
+        """All task predictions from a precomputed shared representation.
+
+        The counterpart of :meth:`shared_features`: the trainer detaches
+        ``features`` so per-task backward stops at the representation, then
+        calls this to run only the task-specific halves.  ``x`` is the raw
+        batch input, for architectures whose task-specific parts read the
+        input directly (MMoE/CGC gates, CGC private experts); trunk-only
+        architectures ignore it.  Must satisfy
+        ``forward_heads(shared_features(x), x) == forward_all(x)``.
         """
         raise NotImplementedError(f"{type(self).__name__} has no single shared representation")
 

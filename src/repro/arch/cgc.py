@@ -19,7 +19,7 @@ import numpy as np
 from ..nn.functional import softmax
 from ..nn.layers import Linear
 from ..nn.module import Module, ModuleList, Parameter
-from ..nn.tensor import Tensor, stack
+from ..nn.tensor import Tensor, concat, stack
 from .base import MTLModel
 from .mmoe import _pool_input
 
@@ -71,13 +71,35 @@ class CGC(MTLModel):
             yield from self.heads[task].modules()
 
     # ------------------------------------------------------------------
-    def _mix(self, x, task: str, shared_outputs: list[Tensor]) -> Tensor:
-        private_outputs = [expert(x) for expert in self.task_experts[task]]
-        outputs = shared_outputs + private_outputs
+    def _mix_stacked(self, x, task: str, stacked: Tensor) -> Tensor:
         gate = softmax(self.gates[task](self.gate_input_fn(x)), axis=-1)
-        stacked = stack(outputs, axis=1)  # (batch, E, feat...)
         weights = gate.reshape(gate.shape + (1,) * (stacked.ndim - 2))
         return (stacked * weights).sum(axis=1)
+
+    def _mix(self, x, task: str, shared_outputs: list[Tensor]) -> Tensor:
+        private_outputs = [expert(x) for expert in self.task_experts[task]]
+        return self._mix_stacked(x, task, stack(shared_outputs + private_outputs, axis=1))
+
+    def shared_features(self, x) -> Tensor:
+        """The stacked *shared* expert bank ``(batch, S, feat...)``.
+
+        Only the shared experts are balanced parameters; the private
+        experts, gates and heads are task-specific and recomputed from the
+        raw input inside :meth:`forward_heads`, downstream of the cut.
+        """
+        return stack([expert(x) for expert in self.shared_experts], axis=1)
+
+    def forward_heads(self, features: Tensor, x=None) -> dict[str, Tensor]:
+        if x is None:
+            raise ValueError(
+                "CGC.forward_heads needs the raw input x for the gates and private experts"
+            )
+        outputs = {}
+        for task in self.task_names:
+            private = stack([expert(x) for expert in self.task_experts[task]], axis=1)
+            stacked = concat([features, private], axis=1)
+            outputs[task] = self.heads[task](self._mix_stacked(x, task, stacked))
+        return outputs
 
     def forward(self, x, task: str) -> Tensor:
         self._check_task(task)

@@ -91,6 +91,21 @@ class CrossStitch(MTLModel):
             }
         return features
 
+    def shared_features(self, x) -> Tensor:
+        """All K per-task trunk outputs, stacked to ``(K, batch, feat...)``.
+
+        The stitch units couple every column, so the whole trunk (columns
+        + stitches) is shared and strictly upstream of this stack; only the
+        heads — which read one ``features[t]`` slice each — sit below it.
+        """
+        features = self._trunk(x)
+        return stack([features[task] for task in self.task_names], axis=0)
+
+    def forward_heads(self, features: Tensor, x=None) -> dict[str, Tensor]:
+        return {
+            task: self.heads[task](features[t]) for t, task in enumerate(self.task_names)
+        }
+
     def forward(self, x, task: str) -> Tensor:
         self._check_task(task)
         return self.heads[task](self._trunk(x)[task])

@@ -49,12 +49,12 @@ class HardParameterSharing(MTLModel):
         features = self.encoder(x)
         return {task: self.heads[task](features) for task in self.task_names}
 
-    def forward_heads(self, features: Tensor) -> dict[str, Tensor]:
+    def forward_heads(self, features: Tensor, x=None) -> dict[str, Tensor]:
         """Apply all heads to a precomputed representation.
 
         Used by the trainer's feature-level gradient mode: the caller
         detaches ``features`` so per-task backward stops at the
-        representation.
+        representation.  ``x`` is unused (heads read only ``z``).
         """
         return {task: self.heads[task](features) for task in self.task_names}
 

@@ -90,12 +90,32 @@ class MMoE(MTLModel):
             yield from self.heads[task].modules()
 
     # ------------------------------------------------------------------
-    def _mix(self, x, task: str, expert_outputs: list[Tensor]) -> Tensor:
+    def _mix_stacked(self, x, task: str, stacked: Tensor) -> Tensor:
         gate_logits = self.gates[task](self.gate_input_fn(x))
         gate = softmax(gate_logits, axis=-1)  # (batch, E)
-        stacked = stack(expert_outputs, axis=1)  # (batch, E, feat...)
         weights = gate.reshape(gate.shape + (1,) * (stacked.ndim - 2))
         return (stacked * weights).sum(axis=1)
+
+    def _mix(self, x, task: str, expert_outputs: list[Tensor]) -> Tensor:
+        return self._mix_stacked(x, task, stack(expert_outputs, axis=1))
+
+    def shared_features(self, x) -> Tensor:
+        """The stacked expert bank ``(batch, E, feat...)``.
+
+        Every shared parameter (the experts) is strictly upstream of this
+        tensor; the gates and heads are task-specific and sit downstream
+        (the gates read the raw input, which :meth:`forward_heads` takes
+        separately), so it is a valid feature-space cut.
+        """
+        return stack([expert(x) for expert in self.experts], axis=1)
+
+    def forward_heads(self, features: Tensor, x=None) -> dict[str, Tensor]:
+        if x is None:
+            raise ValueError("MMoE.forward_heads needs the raw input x for the gates")
+        return {
+            task: self.heads[task](self._mix_stacked(x, task, features))
+            for task in self.task_names
+        }
 
     def forward(self, x, task: str) -> Tensor:
         self._check_task(task)

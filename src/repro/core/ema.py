@@ -1,0 +1,123 @@
+"""Exponential moving averages for gradient-scale normalization.
+
+Feature-space balancing (``MTLTrainer(grad_space="features")``) hands the
+balancer per-task gradients of the *shared representation* instead of the
+shared parameters.  Those rows are one Jacobian application away from the
+parameter gradients, and their scales drift differently per task across
+steps — a task whose head temporarily saturates contributes a near-zero
+row one step and an order-of-magnitude larger one a few steps later.
+Norm-sensitive balancers (MGDA, IMTL, CAGrad) then chase the noise.
+
+:class:`EMANormalizer` smooths this out the way the audio MTL systems
+(RAVE, crediting EnCodec) balance their loss gradients at the decoder
+output: keep an exponential moving average of each task's gradient norm
+and rescale every row so the *smoothed* scales agree, while preserving
+the overall gradient magnitude (the mean of the smoothed norms).
+
+:class:`EMA` is the bare scalar/array smoother underneath, usable on its
+own for any per-step series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EMA", "EMANormalizer"]
+
+
+class EMA:
+    """Exponential moving average of a scalar or fixed-shape array series.
+
+    The first :meth:`update` initializes the shadow to the observed value
+    (no zero-bias warm-up), matching the RAVE/EnCodec exemplar; later
+    updates apply ``shadow ← β·shadow + (1−β)·value`` in place.
+
+    Parameters
+    ----------
+    beta:
+        Smoothing factor in ``[0, 1)``; ``0`` tracks the raw series,
+        values near ``1`` average over roughly ``1/(1−β)`` steps.
+    """
+
+    def __init__(self, beta: float = 0.999) -> None:
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1); got {beta}")
+        self.beta = float(beta)
+        self._shadow: np.ndarray | None = None
+        #: number of ``update`` calls since construction / the last reset
+        self.updates = 0
+
+    @property
+    def value(self) -> np.ndarray | None:
+        """The current smoothed value, or None before the first update."""
+        return self._shadow
+
+    def update(self, values) -> np.ndarray:
+        """Fold one observation in and return the updated average."""
+        values = np.asarray(values, dtype=np.float64)
+        if self._shadow is None:
+            self._shadow = values.copy()
+        else:
+            if self._shadow.shape != values.shape:
+                raise ValueError(
+                    f"EMA was initialized with shape {self._shadow.shape} "
+                    f"but received {values.shape}"
+                )
+            self._shadow *= self.beta
+            self._shadow += (1.0 - self.beta) * values
+        self.updates += 1
+        return self._shadow
+
+    def reset(self) -> None:
+        """Forget the shadow; the next update re-initializes it."""
+        self._shadow = None
+        self.updates = 0
+
+    def __repr__(self) -> str:
+        return f"EMA(beta={self.beta}, updates={self.updates})"
+
+
+class EMANormalizer:
+    """Rescale per-task gradient rows to a common smoothed norm.
+
+    Given a ``(K, d)`` gradient matrix, tracks an :class:`EMA` of the K
+    row norms and scales each row by ``target / ema_norm_k`` where
+    ``target`` is the mean of the smoothed norms — tasks keep their
+    directions, persistent scale imbalances are evened out, and the
+    overall gradient magnitude is preserved.  All-zero rows stay zero
+    (their smoothed norm only decays, and scaling zero is zero).
+
+    State is shaped ``(K,)`` — unlike the d-shaped balancer state it is
+    insensitive to the gradient dimension, so it survives a parameter- vs
+    feature-space switch (the trainer still forbids that switch for
+    momentum-carrying balancers).
+    """
+
+    def __init__(self, beta: float = 0.999, eps: float = 1e-12) -> None:
+        self.ema = EMA(beta)
+        self.eps = float(eps)
+
+    def normalize(self, grads: np.ndarray, norms: np.ndarray | None = None) -> np.ndarray:
+        """Scale ``grads`` rows in place; returns the same array.
+
+        ``norms`` may pass precomputed row norms (e.g. from a
+        :class:`~repro.core.gradstats.GradStats`) to skip the O(K·d)
+        reduction.
+        """
+        grads = np.asarray(grads)
+        if grads.ndim != 2:
+            raise ValueError(f"grads must be (K, d); got shape {grads.shape}")
+        if norms is None:
+            norms = np.sqrt(np.einsum("kd,kd->k", grads, grads))
+        smoothed = self.ema.update(norms)
+        target = float(smoothed.mean())
+        scale = target / (smoothed + self.eps)
+        grads *= scale[:, None]
+        return grads
+
+    def reset(self) -> None:
+        """Forget the norm history; the next call re-initializes it."""
+        self.ema.reset()
+
+    def __repr__(self) -> str:
+        return f"EMANormalizer(beta={self.ema.beta}, updates={self.ema.updates})"

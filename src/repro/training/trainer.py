@@ -3,7 +3,7 @@
 Reproduces the LibMTL-style optimization loop the paper runs on:
 
 1. Collect the per-task gradients over the *shared* parameters into a
-   ``(K, d)`` matrix (``grad_source="params"``).
+   ``(K, d)`` matrix (``grad_space="parameters"``).
 2. Feed the gradient matrix plus the loss values to the gradient balancer
    (MoCoGrad or any baseline).
 3. Write the combined gradient back into the shared parameters, keep the
@@ -23,7 +23,14 @@ Gradient collection (step 1) runs in one of two backward modes:
 
 The paper's §VI-C speedup — balancing *feature-level* gradients (w.r.t. the
 shared representation z) so the shared trunk is back-propagated only once —
-is available as ``grad_source="features"`` for single-input HPS models.
+is the second *gradient space*, ``grad_space="features"``.  It works with
+every registered balancer and every single-input architecture exposing
+:meth:`~repro.arch.base.MTLModel.shared_features` (HPS, MMoE, CGC,
+CrossStitch), turns the per-step balancing cost from O(K·d) into
+O(K·d_feat), and composes with ``accumulate_steps`` (micro-step trunk
+graphs are retained and back-propagated once at the window boundary).
+The legacy ``grad_source="params"|"features"`` spelling maps onto
+``grad_space`` with a one-shot :class:`DeprecationWarning`.
 
 Observability
 -------------
@@ -34,7 +41,7 @@ Every step is traced with nested :mod:`repro.obs` spans::
     ├── backward              backward-only wall-clock (Fig. 8's quantity)
     │   └── task_backward     one per task, labelled task=<name>
     ├── balance               balancer.balance (conflict counters inside)
-    ├── backward_shared       trunk backprop (grad_source="features" only)
+    ├── backward_shared       trunk backprop (grad_space="features" only)
     └── optimizer_step        parameter update
 
 In ``per_task`` mode each ``task_backward`` span wraps that task's full
@@ -66,6 +73,7 @@ import numpy as np
 
 from ..arch.base import MTLModel
 from ..core.balancer import GradientBalancer
+from ..core.ema import EMANormalizer
 from ..data.base import (
     MULTI_INPUT,
     SINGLE_INPUT,
@@ -89,7 +97,51 @@ from ..parallel import (
 )
 from .history import History
 
-__all__ = ["MTLTrainer"]
+__all__ = ["MTLTrainer", "GRAD_SPACES"]
+
+#: Valid gradient spaces: balance per-task gradients of the shared
+#: *parameters* (the ``(K, d)`` matrix) or of the shared *representation*
+#: (the ``(K, d_feat)`` matrix, one trunk backprop per step).
+GRAD_SPACES = ("parameters", "features")
+
+#: Legacy ``grad_source=`` spellings and the spaces they map onto.
+_LEGACY_GRAD_SOURCES = {"params": "parameters", "features": "features"}
+
+_grad_source_warned = False
+
+
+def _warn_grad_source_once() -> None:
+    """One-shot deprecation for the legacy ``grad_source=`` kwarg."""
+    global _grad_source_warned
+    if _grad_source_warned:
+        return
+    _grad_source_warned = True
+    warnings.warn(
+        "the grad_source= trainer option is deprecated; pass "
+        "grad_space='parameters' or grad_space='features' instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _resolve_grad_space(grad_space: str | None, grad_source: str | None) -> str:
+    """Fold the deprecated ``grad_source`` spelling into ``grad_space``."""
+    if grad_source is not None:
+        if grad_space is not None:
+            raise ValueError(
+                "pass either grad_space or the deprecated grad_source, not both"
+            )
+        try:
+            resolved = _LEGACY_GRAD_SOURCES[grad_source]
+        except KeyError:
+            raise ValueError("grad_source must be 'params' or 'features'") from None
+        _warn_grad_source_once()
+        return resolved
+    if grad_space is None:
+        return "parameters"
+    if grad_space not in GRAD_SPACES:
+        raise ValueError(f"grad_space must be one of {GRAD_SPACES}; got {grad_space!r}")
+    return grad_space
 
 
 def _make_optimizer(
@@ -148,8 +200,28 @@ class MTLTrainer:
     mode:
         ``"single_input"`` (one batch feeds all tasks) or ``"multi_input"``
         (one batch per task per step).
-    grad_source:
-        ``"params"`` (default) or ``"features"`` (HPS single-input only).
+    grad_space:
+        ``"parameters"`` (default) balances the ``(K, d)`` matrix of
+        per-task shared-parameter gradients.  ``"features"`` balances the
+        ``(K, d_feat)`` matrix of per-task gradients of the shared
+        representation ``z`` (the paper's §VI-C mode) and back-propagates
+        the trunk once on the balanced direction — O(K·d_feat) balancing
+        instead of O(K·d).  Works with every balancer and every
+        single-input architecture implementing
+        :meth:`~repro.arch.base.MTLModel.shared_features`.  Note that
+        stateful balancers (MoCoGrad, GradVac) shape their state to
+        d_feat, which follows the batch shape — keep batch sizes fixed
+        (or use a stateless balancer) when the loader yields a partial
+        trailing batch.  The legacy ``grad_source="params"|"features"``
+        kwarg still works, with a one-shot deprecation warning.
+    feature_ema:
+        Optional EMA smoothing factor in ``[0, 1)`` enabling a
+        :class:`~repro.core.ema.EMANormalizer` over the feature-gradient
+        rows (``grad_space="features"`` only): per-task rows are rescaled
+        so their *smoothed* norms agree before balancing, keeping task
+        scales comparable across steps.  ``None`` (default) applies no
+        normalization — the feature path then matches the historical
+        behavior exactly.
     backward_mode:
         ``"multi_root"`` (default: one union-graph walk collects all task
         gradients) or ``"per_task"`` (the reference K-backward-passes
@@ -196,8 +268,12 @@ class MTLTrainer:
         *once* (so stateful balancers — MoCoGrad momentum, DWA history —
         advance once per resolve) and takes one optimizer step on the
         window-mean gradients.  Works with every balancer, in both
-        single-process and parallel modes; requires
-        ``grad_source="params"``.
+        gradient spaces, and in parallel mode.  With
+        ``grad_space="features"`` each micro-step's trunk graph is
+        retained and back-propagated at the window boundary (the
+        window-mean chain rule), so memory grows with ``W`` retained
+        forward graphs; a mid-window feature-dimension change (batch-size
+        change) discards the open window with a ``RuntimeWarning``.
     parallel:
         ``0`` (default) trains in-process.  ``N ≥ 1`` creates the trainer's
         arena over a :mod:`repro.parallel` shared-memory block and, inside
@@ -205,7 +281,7 @@ class MTLTrainer:
         deterministic contiguous shards with a weighted flat-sum reduce —
         the same batch stream as sequential training, matching it ≤ 1e-12.
         Requires ``model_factory``, single-input mode,
-        ``grad_source="params"``, ``backward_mode="multi_root"`` and
+        ``grad_space="parameters"``, ``backward_mode="multi_root"`` and
         ``use_arena=True``.  Call :meth:`close` (or use the trainer as a
         context manager) to release the shared-memory block.
     model_factory:
@@ -239,7 +315,7 @@ class MTLTrainer:
         tasks: Sequence[TaskSpec],
         balancer: GradientBalancer,
         mode: str = SINGLE_INPUT,
-        grad_source: str = "params",
+        grad_space: str | None = None,
         backward_mode: str = "multi_root",
         optimizer: str = "adam",
         lr: float = 1e-3,
@@ -256,19 +332,20 @@ class MTLTrainer:
         start_method: str | None = None,
         worker_telemetry: str | None = None,
         step_timeout: float = 120.0,
+        feature_ema: float | None = None,
+        grad_source: str | None = None,
     ) -> None:
         if mode not in (SINGLE_INPUT, MULTI_INPUT):
             raise ValueError(f"mode must be {SINGLE_INPUT!r} or {MULTI_INPUT!r}")
-        if grad_source not in ("params", "features"):
-            raise ValueError("grad_source must be 'params' or 'features'")
-        if grad_source == "features" and mode != SINGLE_INPUT:
+        grad_space = _resolve_grad_space(grad_space, grad_source)
+        if grad_space == "features" and mode != SINGLE_INPUT:
             raise ValueError("feature-level gradients require single-input MTL")
         if backward_mode not in ("multi_root", "per_task"):
             raise ValueError("backward_mode must be 'multi_root' or 'per_task'")
         if accumulate_steps < 1:
             raise ValueError(f"accumulate_steps must be ≥ 1; got {accumulate_steps}")
-        if accumulate_steps > 1 and grad_source != "params":
-            raise ValueError("accumulate_steps > 1 requires grad_source='params'")
+        if feature_ema is not None and grad_space != "features":
+            raise ValueError("feature_ema requires grad_space='features'")
         if parallel < 0:
             raise ValueError(f"parallel must be ≥ 0; got {parallel}")
         if parallel:
@@ -276,8 +353,8 @@ class MTLTrainer:
                 raise ValueError("parallel training requires a model_factory")
             if mode != SINGLE_INPUT:
                 raise ValueError("parallel training requires single-input mode")
-            if grad_source != "params":
-                raise ValueError("parallel training requires grad_source='params'")
+            if grad_space != "parameters":
+                raise ValueError("parallel training requires grad_space='parameters'")
             if backward_mode != "multi_root":
                 raise ValueError("parallel training requires backward_mode='multi_root'")
             if not use_arena:
@@ -290,7 +367,11 @@ class MTLTrainer:
         self.tasks = list(tasks)
         self.balancer = balancer
         self.mode = mode
-        self.grad_source = grad_source
+        self.grad_space = grad_space
+        #: EMA norm-normalizer over the feature-gradient rows, or None
+        self.feature_normalizer = (
+            EMANormalizer(beta=feature_ema) if feature_ema is not None else None
+        )
         self.backward_mode = backward_mode
         self.accumulate_steps = int(accumulate_steps)
         self.parallel = int(parallel)
@@ -362,15 +443,19 @@ class MTLTrainer:
                 self.recorder = DynamicsRecorder(capacity=int(record_dynamics))
         #: per-step ``(mean_gcd, conflict_fraction)`` when tracking is on
         self.conflict_stats: list[tuple[float, float]] = []
-        # Preallocated (K, d) per-task gradient workspace, reused across
-        # steps (allocated lazily once d is known).  Balancers never retain
-        # the matrix, so reuse is safe; `task_gradients` hands out fresh
+        # Preallocated (K, dim) per-task gradient workspaces, reused across
+        # steps and keyed by dim (allocated lazily once a dim is seen) — the
+        # parameter-space d and the batch-shaped feature-space d_feat can
+        # interleave without reallocating.  Balancers never retain the
+        # matrix, so reuse is safe; `task_gradients` hands out fresh
         # matrices because its callers may keep them.
-        self._grad_workspace: np.ndarray | None = None
-        # Accumulate-then-resolve state: running (K, d_shared) gradient sum,
-        # (K,) loss sum, and the micro-step count within the open window.
+        self._grad_workspaces: dict[int, np.ndarray] = {}
+        # Accumulate-then-resolve state: running (K, dim) gradient sum, (K,)
+        # loss sum, the micro-step count within the open window, and (in
+        # feature space) the retained per-micro-step trunk graphs.
         self._acc_grads: np.ndarray | None = None
         self._acc_losses: np.ndarray | None = None
+        self._acc_features: list[Tensor] = []
         self._micro_steps = 0
 
     # ------------------------------------------------------------------
@@ -396,11 +481,23 @@ class MTLTrainer:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    #: Max distinct gradient widths cached by :meth:`_workspace` (FIFO).
+    _MAX_WORKSPACES = 8
+
     def _workspace(self, dim: int) -> np.ndarray:
-        """The trainer-owned ``(K, d)`` gradient matrix, reused per step."""
-        workspace = self._grad_workspace
-        if workspace is None or workspace.shape != (len(self.tasks), dim):
-            self._grad_workspace = workspace = np.empty((len(self.tasks), dim))
+        """The trainer-owned ``(K, dim)`` gradient matrix for this width.
+
+        One buffer per dim: parameter-space steps (d), feature-space steps
+        (d_feat, which follows the batch shape) and varying batch sizes all
+        keep their own reused buffer instead of thrashing a single cache
+        slot.  Bounded so a pathological dim sequence cannot grow it
+        without limit.
+        """
+        workspace = self._grad_workspaces.get(dim)
+        if workspace is None:
+            if len(self._grad_workspaces) >= self._MAX_WORKSPACES:
+                self._grad_workspaces.pop(next(iter(self._grad_workspaces)))
+            self._grad_workspaces[dim] = workspace = np.empty((len(self.tasks), dim))
         return workspace
 
     def _zero_grad(self) -> None:
@@ -469,6 +566,7 @@ class MTLTrainer:
         if self.accumulate_steps == 1:
             with telemetry.span("balance", method=self.balancer.name):
                 combined = self.balancer.balance(grads, losses)
+            self._record_conflicts(grads, stats=self.balancer.gradstats)
             set_grad_from_vector(shared, combined)
             with telemetry.span("optimizer_step"):
                 self.optimizer.step()
@@ -478,6 +576,7 @@ class MTLTrainer:
         if self._acc_grads is None or self._acc_grads.shape != grads.shape:
             self._acc_grads = np.zeros_like(grads)
             self._acc_losses = np.zeros_like(losses)
+        self._record_conflicts(grads)
         self._acc_grads += grads
         self._acc_losses += losses
         self._micro_steps += 1
@@ -495,6 +594,84 @@ class MTLTrainer:
         self._micro_steps = 0
         self._acc_grads.fill(0.0)
         self._acc_losses.fill(0.0)
+
+    def _resolve_or_accumulate_features(
+        self,
+        features: Tensor,
+        grads: np.ndarray,
+        losses: np.ndarray,
+        telemetry: Telemetry,
+    ) -> None:
+        """Feature-space tail: balance, trunk backprop and step — or fold.
+
+        Mirrors :meth:`_resolve_or_accumulate` with one structural
+        difference: micro-steps never write shared-parameter gradients
+        (per-task backward stops at the detached representation), so each
+        micro-step retains its ``features`` graph and the window boundary
+        back-propagates the resolved direction scaled by ``1/W`` through
+        every retained graph — the window-mean chain rule
+        ``Σ_w J_wᵀ (combined / W)``.  A mid-window feature-dimension change
+        (batch-size change) discards the open window with a warning rather
+        than mixing incompatible spaces.
+        """
+        if self.accumulate_steps == 1:
+            with telemetry.span("balance", method=self.balancer.name):
+                combined = self.balancer.balance(grads, losses)
+            self._record_conflicts(grads, stats=self.balancer.gradstats)
+            # The single shared-trunk backprop that makes this mode fast is
+            # still backward time; it is recorded under its own span so
+            # backward_seconds can include it.
+            with telemetry.span("backward_shared"):
+                features.backward(combined.reshape(features.shape))
+            with telemetry.span("optimizer_step"):
+                self.optimizer.step()
+            self._zero_grad()
+            return
+        window = self.accumulate_steps
+        if self._micro_steps and self._acc_grads.shape != grads.shape:
+            warnings.warn(
+                "feature-space accumulation window discarded: the feature "
+                f"dimension changed from {self._acc_grads.shape[1]} to "
+                f"{grads.shape[1]} mid-window (batch-size change); the dropped "
+                "micro-steps apply no update",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._reset_feature_window()
+            self._zero_grad()
+        if self._acc_grads is None or self._acc_grads.shape != grads.shape:
+            self._acc_grads = np.zeros_like(grads)
+            self._acc_losses = np.zeros_like(losses)
+        self._record_conflicts(grads)
+        self._acc_grads += grads
+        self._acc_losses += losses
+        self._acc_features.append(features)
+        self._micro_steps += 1
+        if self._micro_steps < window:
+            return
+        retained = self._acc_features
+        # Head gradients accumulated over the window become their mean; the
+        # shared partition is still zero at this point.
+        self._scale_grads(1.0 / window)
+        with telemetry.span("balance", method=self.balancer.name):
+            combined = self.balancer.resolve_accumulated(
+                self._acc_grads, self._acc_losses, window
+            )
+        seed = (combined / window).reshape(features.shape)
+        with telemetry.span("backward_shared"):
+            for graph in retained:
+                graph.backward(seed)
+        with telemetry.span("optimizer_step"):
+            self.optimizer.step()
+        self._zero_grad()
+        self._reset_feature_window()
+
+    def _reset_feature_window(self) -> None:
+        """Drop the open feature-space accumulation window entirely."""
+        self._micro_steps = 0
+        self._acc_features = []
+        self._acc_grads = None
+        self._acc_losses = None
 
     def _scale_grads(self, scale: float) -> None:
         """In-place scale of every model gradient (one vector op on arenas)."""
@@ -517,11 +694,11 @@ class MTLTrainer:
             if self.accumulate_steps == 1 or self._micro_steps == 0:
                 self._zero_grad()
 
-            if self.grad_source == "features":
-                losses = self._collect_feature_grads(inputs, targets, shared)
-                with telemetry.span("optimizer_step"):
-                    self.optimizer.step()
-                self._zero_grad()
+            if self.grad_space == "features":
+                features, grads, losses = self._collect_feature_grads(
+                    inputs, targets, telemetry
+                )
+                self._resolve_or_accumulate_features(features, grads, losses, telemetry)
             else:
                 with telemetry.span("forward"):
                     outputs = self.model.forward_all(inputs)
@@ -533,21 +710,27 @@ class MTLTrainer:
                 grads = self._workspace(sum(p.size for p in shared))
                 with telemetry.span("backward"):
                     self._collect_param_grads(loss_tensors, shared, grads, telemetry)
-                self._record_conflicts(grads)
                 self._resolve_or_accumulate(grads, losses, shared, telemetry)
         self._finish_step(losses)
         return losses
 
     def _collect_feature_grads(
-        self, inputs, targets: Mapping[str, np.ndarray], shared: list[Parameter]
-    ) -> np.ndarray:
-        """Feature-level gradient balancing (one shared backward pass)."""
-        telemetry = self.telemetry
+        self, inputs, targets: Mapping[str, np.ndarray], telemetry: Telemetry
+    ) -> tuple[Tensor, np.ndarray, np.ndarray]:
+        """Forward + per-task backward to the shared representation.
+
+        Returns ``(features, grads, losses)``: the live trunk output (whose
+        graph the resolve tail back-propagates), the ``(K, d_feat)``
+        feature-gradient workspace, and the loss values.  A head whose loss
+        is disconnected from the trunk contributes a zero row in *both*
+        backward modes — per-task backward leaves the cut's gradient
+        unmaterialized, exactly like a ``None`` multi-root slot.
+        """
         with telemetry.span("forward"):
             features = self.model.shared_features(inputs)
             cut = Tensor(features.data)
             cut.requires_grad = True
-            outputs = self.model.forward_heads(cut)
+            outputs = self.model.forward_heads(cut, inputs)
             loss_tensors = [
                 task.loss_fn(outputs[task.name], targets[task.name]) for task in self.tasks
             ]
@@ -568,16 +751,13 @@ class MTLTrainer:
                     with telemetry.span("task_backward", task=self.tasks[k].name):
                         cut.zero_grad()
                         loss.backward()
-                        grads[k] = cut.grad.reshape(-1)
-        self._record_conflicts(grads)
-        with telemetry.span("balance", method=self.balancer.name):
-            combined = self.balancer.balance(grads, losses)
-        # The single shared-trunk backprop that makes this mode fast is
-        # still backward time; it is recorded under its own span so
-        # backward_seconds can include it.
-        with telemetry.span("backward_shared"):
-            features.backward(combined.reshape(features.shape))
-        return losses
+                        if cut.grad is None:
+                            grads[k] = 0.0
+                        else:
+                            grads[k] = cut.grad.reshape(-1)
+        if self.feature_normalizer is not None:
+            self.feature_normalizer.normalize(grads)
+        return features, grads, losses
 
     def train_step_multi(self, batches: Mapping[str, tuple]) -> np.ndarray:
         """One step in multi-input mode; ``batches[task] = (inputs, targets)``."""
@@ -599,7 +779,6 @@ class MTLTrainer:
             grads = self._workspace(sum(p.size for p in shared))
             with telemetry.span("backward"):
                 self._collect_param_grads(loss_tensors, shared, grads, telemetry)
-            self._record_conflicts(grads)
             self._resolve_or_accumulate(grads, losses, shared, telemetry)
         self._finish_step(losses)
         return losses
@@ -636,14 +815,24 @@ class MTLTrainer:
 
         self.recorder.record(self.step_count, build)
 
-    def _record_conflicts(self, grads: np.ndarray) -> None:
+    def _record_conflicts(self, grads: np.ndarray, stats=None) -> None:
+        """Append this step's (mean GCD, conflict fraction) diagnostics.
+
+        Called from the resolve tails so the balance-time
+        :attr:`~repro.core.balancer.GradientBalancer.gradstats` can be
+        reused — conflict tracking then costs zero extra Gram GEMMs.  A
+        stats object over a *different* matrix (a balancer that skipped
+        ``_check_inputs``, an accumulate micro-step) is rejected by
+        identity and rebuilt.
+        """
         if not self.track_conflicts:
             return
         from ..core.conflict import conflict_fraction, pairwise_gcd
         from ..core.gradstats import GradStats
 
         # One GradStats feeds both diagnostics — one GEMM instead of two.
-        stats = GradStats(np.asarray(grads, dtype=np.float64))
+        if stats is None or stats.grads is not grads:
+            stats = GradStats(np.asarray(grads, dtype=np.float64))
         matrix = pairwise_gcd(grads, stats=stats)
         num_tasks = matrix.shape[0]
         mean_gcd = (
@@ -801,7 +990,6 @@ class MTLTrainer:
                     losses,
                     accumulate_full=self.accumulate_steps > 1,
                 )
-            self._record_conflicts(grads)
             self._resolve_or_accumulate(grads, losses, shared, telemetry)
         self._finish_step(losses)
         return losses
@@ -857,8 +1045,8 @@ class MTLTrainer:
         """Per-step *backward-only* seconds (the paper's Fig. 8 quantity).
 
         Sum of the per-task backward passes; with
-        ``grad_source="features"`` the single shared-trunk backprop is
-        included as well.
+        ``grad_space="features"`` the shared-trunk backprop is included
+        as well.
         """
         per_step = self.telemetry.durations("step/backward")
         shared = self.telemetry.durations("step/backward_shared")
@@ -891,8 +1079,19 @@ class MTLTrainer:
         return float(np.median(durations)) if durations else 0.0
 
     # ------------------------------------------------------------------
-    # Deprecated pre-`repro.obs` instrumentation surface
+    # Deprecated surface
     # ------------------------------------------------------------------
+    @property
+    def grad_source(self) -> str:
+        """Deprecated alias of :attr:`grad_space` (legacy spelling)."""
+        warnings.warn(
+            "MTLTrainer.grad_source is deprecated; read trainer.grad_space "
+            "('parameters' or 'features') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return "params" if self.grad_space == "parameters" else "features"
+
     @property
     def step_seconds(self) -> list[float]:
         """Deprecated: use ``trainer.telemetry.durations("step")``."""

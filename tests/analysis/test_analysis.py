@@ -90,9 +90,9 @@ class TestTiming:
 
     def test_feature_mode_supported(self):
         result = backward_time_study(
-            methods=("equal",), num_records=300, steps=2, grad_source="features", seed=0
+            methods=("equal",), num_records=300, steps=2, grad_space="features", seed=0
         )
-        assert result["grad_source"] == "features"
+        assert result["grad_space"] == "features"
 
 
 class TestLambdaSensitivity:

@@ -139,6 +139,48 @@ class TestCommonBehaviour:
             MTLModel(["a", "a"])
 
 
+SHARED_FEATURE_ARCHS = ("hps", "mmoe", "cross_stitch", "cgc")
+
+
+class TestSharedFeatureCut:
+    """Contract backing ``MTLTrainer(grad_space="features")``: the cut must
+    reconstruct forward_all exactly and every shared parameter must lie
+    strictly upstream of it."""
+
+    @pytest.mark.parametrize("name", SHARED_FEATURE_ARCHS)
+    def test_forward_heads_matches_forward_all(self, name, rng):
+        model = FACTORIES[name](rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        outputs = model.forward_heads(model.shared_features(x), x)
+        reference = model.forward_all(x)
+        for task in ("a", "b"):
+            np.testing.assert_allclose(outputs[task].data, reference[task].data)
+
+    @pytest.mark.parametrize("name", SHARED_FEATURE_ARCHS)
+    def test_every_shared_parameter_upstream_of_cut(self, name, rng):
+        model = FACTORIES[name](rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        model.zero_grad()
+        features = model.shared_features(x)
+        features.backward(np.ones(features.shape))
+        for param in model.shared_parameters():
+            assert param.grad is not None and np.abs(param.grad).sum() > 0
+
+    def test_mtan_has_no_single_cut(self, rng):
+        model = make_mtan(rng)
+        with pytest.raises(NotImplementedError):
+            model.shared_features(Tensor(rng.normal(size=(2, 6))))
+        with pytest.raises(NotImplementedError):
+            model.forward_heads(Tensor(rng.normal(size=(2, 8))))
+
+    @pytest.mark.parametrize("name", ("mmoe", "cgc"))
+    def test_gated_archs_need_raw_input_for_heads(self, name, rng):
+        model = FACTORIES[name](rng)
+        features = model.shared_features(Tensor(rng.normal(size=(3, 6))))
+        with pytest.raises(ValueError, match="raw input"):
+            model.forward_heads(features)
+
+
 class TestHPSSpecific:
     def test_shared_features_exposed(self, rng):
         model = make_hps(rng)

@@ -1,0 +1,90 @@
+"""EMA state tracker and the EMA-based gradient-norm normalizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import EMA, EMANormalizer
+
+
+class TestEMA:
+    def test_first_update_copies_value(self):
+        ema = EMA(beta=0.9)
+        value = np.array([1.0, 2.0])
+        shadow = ema.update(value)
+        np.testing.assert_array_equal(shadow, value)
+        value[0] = 99.0  # the shadow must be a copy, not a view
+        np.testing.assert_array_equal(ema.value, [1.0, 2.0])
+
+    def test_update_follows_ema_recurrence(self):
+        ema = EMA(beta=0.5)
+        ema.update(np.array([4.0]))
+        shadow = ema.update(np.array([0.0]))
+        np.testing.assert_allclose(shadow, [2.0])  # 0.5*4 + 0.5*0
+        shadow = ema.update(np.array([0.0]))
+        np.testing.assert_allclose(shadow, [1.0])
+
+    def test_beta_zero_tracks_instantaneously(self):
+        ema = EMA(beta=0.0)
+        ema.update(np.array([3.0]))
+        np.testing.assert_allclose(ema.update(np.array([7.0])), [7.0])
+
+    def test_invalid_beta_rejected(self):
+        for beta in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError, match="beta"):
+                EMA(beta=beta)
+
+    def test_shape_mismatch_rejected(self):
+        ema = EMA(beta=0.9)
+        ema.update(np.zeros(3))
+        with pytest.raises(ValueError, match="shape"):
+            ema.update(np.zeros(4))
+
+    def test_update_counter_and_reset(self):
+        ema = EMA(beta=0.9)
+        assert ema.updates == 0 and ema.value is None
+        ema.update(np.ones(2))
+        ema.update(np.ones(2))
+        assert ema.updates == 2
+        ema.reset()
+        assert ema.updates == 0 and ema.value is None
+        # After reset the next update copies again.
+        np.testing.assert_array_equal(ema.update(np.full(2, 5.0)), [5.0, 5.0])
+
+
+class TestEMANormalizer:
+    def test_equalizes_row_norms_on_first_step(self):
+        """First update: shadow == current norms, so every row is rescaled
+        to the mean norm exactly."""
+        rng = np.random.default_rng(0)
+        grads = rng.standard_normal((3, 16))
+        grads[1] *= 10.0
+        normalizer = EMANormalizer(beta=0.9)
+        out = normalizer.normalize(grads)
+        assert out is grads  # in place
+        norms = np.linalg.norm(grads, axis=1)
+        np.testing.assert_allclose(norms, norms.mean() * np.ones(3), rtol=1e-10)
+
+    def test_smoothing_uses_history_not_current_norms(self):
+        normalizer = EMANormalizer(beta=0.5)
+        normalizer.normalize(np.eye(2) * 2.0)  # seeds the EMA at [2, 2]
+        # Second step: row norms are [4, 4]; smoothed = 0.5*2 + 0.5*4 = 3.
+        # scale = mean(3)/3 = 1 → the rows must pass through unscaled.
+        grads = np.eye(2) * 4.0
+        normalizer.normalize(grads)
+        np.testing.assert_allclose(np.linalg.norm(grads, axis=1), [4.0, 4.0])
+
+    def test_zero_row_is_safe(self):
+        grads = np.vstack([np.zeros(8), np.ones(8)])
+        out = EMANormalizer(beta=0.9).normalize(grads)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_array_equal(out[0], np.zeros(8))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError, match="K, d"):
+            EMANormalizer().normalize(np.zeros(5))
+
+    def test_reset_clears_history(self):
+        normalizer = EMANormalizer(beta=0.5)
+        normalizer.normalize(np.eye(2) * 2.0)
+        normalizer.reset()
+        assert normalizer.ema.updates == 0

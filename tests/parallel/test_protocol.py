@@ -149,7 +149,7 @@ def test_parallel_requires_arena_and_multi_root():
     for bad_kwargs, match in [
         ({"use_arena": False}, "use_arena"),
         ({"backward_mode": "per_task"}, "multi_root"),
-        ({"grad_source": "features"}, "grad_source"),
+        ({"grad_space": "features"}, "grad_space"),
     ]:
         model = support.hps_factory()
         with pytest.raises(ValueError, match=match):

@@ -137,11 +137,23 @@ def test_trainer_rejects_bad_accumulate_config():
         MTLTrainer(
             factory(), BENCH.tasks, create_balancer("equal", seed=0), accumulate_steps=0
         )
-    with pytest.raises(ValueError, match="grad_source"):
-        MTLTrainer(
-            factory(),
-            BENCH.tasks,
-            create_balancer("equal", seed=0),
-            grad_source="features",
-            accumulate_steps=2,
-        )
+
+
+def test_accumulate_works_in_feature_space():
+    # The historical grad_source gate is lifted: feature-space balancing and
+    # GCond-style accumulation compose (see test_grad_space.py for the
+    # window-mean semantics).
+    trainer = MTLTrainer(
+        factory(),
+        BENCH.tasks,
+        create_balancer("mocograd", seed=0),
+        grad_space="features",
+        accumulate_steps=2,
+        seed=9,
+        optimizer="sgd",
+    )
+    initial = parameter_vector(factory().parameters())
+    trainer.fit(BENCH.train, epochs=1, batch_size=16, max_steps_per_epoch=4)
+    trained = parameter_vector(trainer.model.parameters())
+    assert np.all(np.isfinite(trained))
+    assert float(np.max(np.abs(trained - initial))) > 0.0

@@ -93,10 +93,10 @@ class TestFlatLoopTrainingEquivalence:
             finals[use_arena] = run_steps(trainer)
         np.testing.assert_array_equal(finals[True], finals[False])
 
-    def test_feature_grad_source_flat_matches_loop(self):
+    def test_feature_grad_space_flat_matches_loop(self):
         finals = {}
         for step_mode in ("loop", "flat"):
-            trainer = build_trainer("hps", grad_source="features", step_mode=step_mode)
+            trainer = build_trainer("hps", grad_space="features", step_mode=step_mode)
             finals[step_mode] = run_steps(trainer)
         np.testing.assert_array_equal(finals["flat"], finals["loop"])
 

@@ -70,11 +70,11 @@ class TestGradientEquivalence:
             params["multi_root"], params["per_task"], atol=1e-12, rtol=0
         )
 
-    def test_feature_grad_source_identical(self, rng):
+    def test_feature_grad_space_identical(self, rng):
         x, targets = make_batch(rng)
         params = {}
         for mode in ("per_task", "multi_root"):
-            trainer = build_trainer("hps", mode, grad_source="features")
+            trainer = build_trainer("hps", mode, grad_space="features")
             for _ in range(3):
                 trainer.train_step_single(x, targets)
             params[mode] = parameter_vector(trainer.model.parameters())
@@ -97,9 +97,10 @@ class TestBackwardModeOption:
         x, targets = make_batch(rng)
         trainer = build_trainer("hps", "multi_root")
         trainer.train_step_single(x, targets)
-        first = trainer._grad_workspace
+        (first,) = trainer._grad_workspaces.values()
         trainer.train_step_single(x, targets)
-        assert trainer._grad_workspace is first
+        (second,) = trainer._grad_workspaces.values()
+        assert second is first
 
     def test_task_gradients_returns_fresh_matrix(self, rng):
         x, targets = make_batch(rng)

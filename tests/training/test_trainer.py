@@ -56,7 +56,13 @@ class TestConstruction:
         dataset, tasks = make_problem(rng)
         model = make_model(rng, tasks)
         with pytest.raises(ValueError):
-            MTLTrainer(model, tasks, EqualWeighting(), mode=MULTI_INPUT, grad_source="features")
+            MTLTrainer(model, tasks, EqualWeighting(), mode=MULTI_INPUT, grad_space="features")
+
+    def test_invalid_grad_space(self, rng):
+        dataset, tasks = make_problem(rng)
+        model = make_model(rng, tasks)
+        with pytest.raises(ValueError, match="grad_space"):
+            MTLTrainer(model, tasks, EqualWeighting(), grad_space="params")
 
     def test_invalid_optimizer(self, rng):
         dataset, tasks = make_problem(rng)
@@ -113,8 +119,8 @@ class TestFeatureModeEquivalence:
         seeds = np.random.default_rng(3)
         model_a = make_model(np.random.default_rng(7), tasks)
         model_b = make_model(np.random.default_rng(7), tasks)
-        trainer_a = MTLTrainer(model_a, tasks, EqualWeighting(), grad_source="params", lr=1e-2, seed=1)
-        trainer_b = MTLTrainer(model_b, tasks, EqualWeighting(), grad_source="features", lr=1e-2, seed=1)
+        trainer_a = MTLTrainer(model_a, tasks, EqualWeighting(), grad_space="parameters", lr=1e-2, seed=1)
+        trainer_b = MTLTrainer(model_b, tasks, EqualWeighting(), grad_space="features", lr=1e-2, seed=1)
         x, targets = dataset.batch(np.arange(16))
         for _ in range(3):
             trainer_a.train_step_single(x, targets)
@@ -128,7 +134,7 @@ class TestFeatureModeEquivalence:
     def test_feature_mode_losses_match(self, rng):
         dataset, tasks = make_problem(rng)
         model = make_model(rng, tasks)
-        trainer = MTLTrainer(model, tasks, EqualWeighting(), grad_source="features", seed=0)
+        trainer = MTLTrainer(model, tasks, EqualWeighting(), grad_space="features", seed=0)
         x, targets = dataset.batch(np.arange(8))
         losses = trainer.train_step_single(x, targets)
         assert losses.shape == (2,)

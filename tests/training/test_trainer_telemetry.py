@@ -91,14 +91,14 @@ class TestStepSpans:
         assert len(telemetry.durations("step")) == steps
         assert len(telemetry.durations("step/backward/task_backward")) == 2 * steps
 
-    def test_feature_grad_source_traced(self, rng):
+    def test_feature_grad_space_traced(self, rng):
         dataset, tasks = make_problem(rng)
         model = make_model(rng, tasks)
         trainer = MTLTrainer(
             model,
             tasks,
             EqualWeighting(),
-            grad_source="features",
+            grad_space="features",
             seed=0,
             telemetry=Telemetry(),
         )
