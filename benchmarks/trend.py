@@ -18,7 +18,10 @@ Tracked metrics (label → speedup):
   recorded when the host has at least W usable cores — see
   ``bench_parallel.py``);
 - ``feature_space/d{d}`` — feature-space vs parameter-space balancing
-  cost at shared-parameter count d (``bench_feature_space.py``).
+  cost at shared-parameter count d (``bench_feature_space.py``);
+- ``streaming/prefetch`` / ``streaming/warm_cache`` — double-buffered
+  streaming and warm mmap-cache epochs vs the eager materialize-then-
+  iterate baseline (``bench_streaming.py``).
 
 Speedup ratios are self-normalizing (both sides of each ratio run on the
 same machine in the same process), so history entries from different
@@ -92,6 +95,14 @@ def extract_metrics(report: dict) -> dict[str, float]:
             metrics[f"feature_space/d{row['dim_shared']}"] = float(
                 row["balance_speedup"]
             )
+    elif kind == "streaming":
+        # cold-cache and sync-streaming rows are diagnostics, not gates:
+        # only the two modes users run for speed are trend-tracked.
+        tracked = {"prefetch": "streaming/prefetch", "cache_warm": "streaming/warm_cache"}
+        for row in report.get("results", []):
+            label = tracked.get(row["mode"])
+            if label is not None:
+                metrics[label] = float(row["speedup"])
     return metrics
 
 

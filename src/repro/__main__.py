@@ -110,7 +110,7 @@ def _run_train(args) -> str:
     import numpy as np
 
     from .core.balancer import available_balancers, create_balancer
-    from .data import make_synthetic_mtl
+    from .data import make_synthetic_mtl, make_synthetic_stream
     from .training import MTLTrainer
 
     if args.balancer not in available_balancers():
@@ -119,14 +119,22 @@ def _run_train(args) -> str:
         )
     # 80 samples/step: batch 64 over the ~80% train split, so one epoch
     # holds at least --steps batches.
-    benchmark = make_synthetic_mtl(
+    workload = dict(
         num_tasks=args.tasks,
-        num_samples=max(80 * args.steps, 512),
         # Conflicting tasks (negative cosine) so there are dynamics worth
         # recording, clamped to the K-task feasibility bound.
         pairwise_cosine=max(-0.2, -0.9 / max(args.tasks - 1, 1)),
         seed=args.seed,
     )
+    if args.streaming:
+        benchmark = make_synthetic_stream(
+            num_samples=max(64 * args.steps, 512),
+            chunk_size=args.chunk_size,
+            cache=args.cache_dir,
+            **workload,
+        )
+    else:
+        benchmark = make_synthetic_mtl(num_samples=max(80 * args.steps, 512), **workload)
     model = benchmark.build_model("hps", np.random.default_rng(args.seed))
     trainer = MTLTrainer(
         model,
@@ -149,6 +157,18 @@ def _run_train(args) -> str:
             for task, loss in zip(trainer.tasks, trainer.history.step_losses[-1])
         ),
     ]
+    if args.streaming:
+        telemetry = trainer.telemetry
+        hits = telemetry.counter("stream_prefetch_hits_total").value
+        stalls = telemetry.counter("stream_prefetch_stalls_total").value
+        cache_hits = telemetry.counter("stream_cache_hits_total").value
+        cache_misses = telemetry.counter("stream_cache_misses_total").value
+        lines.append(
+            f"streaming: chunk={args.chunk_size}, "
+            f"prefetch hits={int(hits)} stalls={int(stalls)}, "
+            f"cache hits={int(cache_hits)} misses={int(cache_misses)}"
+            + (f" (dir {args.cache_dir})" if args.cache_dir else "")
+        )
     if trainer.profiler is not None:
         lines += ["", trainer.profiler.format_self_times()]
         if args.profile:
@@ -221,6 +241,26 @@ def main(argv: list[str] | None = None) -> int:
         default="parameters",
         help="train: balance shared-parameter gradients (K×d) or "
         "shared-representation gradients (K×d_feat, one trunk backprop)",
+    )
+    train.add_argument(
+        "--streaming",
+        action="store_true",
+        help="train: generate data through the streaming shard pipeline "
+        "(bounded memory, double-buffered prefetch) instead of eagerly",
+    )
+    train.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="train: rows per generated shard in --streaming mode",
+    )
+    train.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="train: mmap shard-cache directory for --streaming mode "
+        "(write-once per shard; repeated runs reuse cached shards)",
     )
     train.add_argument("--steps", type=int, default=200, help="train: optimization steps")
     train.add_argument("--tasks", type=int, default=4, help="train: task count K")

@@ -11,6 +11,7 @@ from .base import (
     Benchmark,
     DataLoader,
     TaskSpec,
+    batch_count,
     batch_index_iter,
     shard_rng,
     train_val_test_split,
@@ -21,6 +22,27 @@ from .movielens import GENRES, make_movielens
 from .nyuv2 import make_nyuv2
 from .officehome import DOMAINS, make_officehome
 from .qm9 import PROPERTIES, generate_molecule, make_qm9, molecule_properties
+from .shardcache import ShardCache
+from .streaming import (
+    ChunkedSource,
+    EagerSource,
+    ShardPrefetcher,
+    StreamingDataset,
+    StreamingLoader,
+    as_stream,
+    num_shards,
+    shard_batch_index_iter,
+    shard_row_range,
+    streaming_batch_count,
+)
+from .streams import (
+    AliExpressStream,
+    MovieLensGenreStream,
+    SyntheticStream,
+    make_aliexpress_stream,
+    make_movielens_stream,
+    make_synthetic_stream,
+)
 from .synthetic import make_synthetic_mtl, uniform_conflict_gram
 
 __all__ = [
@@ -29,6 +51,7 @@ __all__ = [
     "DataLoader",
     "Benchmark",
     "train_val_test_split",
+    "batch_count",
     "batch_index_iter",
     "shard_rng",
     "SINGLE_INPUT",
@@ -51,4 +74,21 @@ __all__ = [
     "make_officehome",
     "make_synthetic_mtl",
     "uniform_conflict_gram",
+    "ShardCache",
+    "ChunkedSource",
+    "EagerSource",
+    "ShardPrefetcher",
+    "StreamingDataset",
+    "StreamingLoader",
+    "as_stream",
+    "num_shards",
+    "shard_batch_index_iter",
+    "shard_row_range",
+    "streaming_batch_count",
+    "AliExpressStream",
+    "MovieLensGenreStream",
+    "SyntheticStream",
+    "make_aliexpress_stream",
+    "make_movielens_stream",
+    "make_synthetic_stream",
 ]

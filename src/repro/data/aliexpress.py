@@ -86,32 +86,24 @@ def _generate_logs(
     return records, clicks, ctcvr
 
 
-def make_aliexpress(
-    country: str = "ES",
-    num_records: int = 4000,
-    relatedness: float = 0.35,
-    embedding_dim: int = 8,
-    hidden: tuple[int, ...] = (32, 16),
-    seed: int = 0,
-) -> Benchmark:
-    """Build the 2-task (CTR, CTCVR) benchmark for one country scenario."""
-    if country not in _COUNTRY_PROFILES:
-        raise ValueError(f"country must be one of {COUNTRIES}")
-    base_ctr, cvr_rate, offset = _COUNTRY_PROFILES[country]
-    rng = np.random.default_rng(seed + offset)
-    records, clicks, ctcvr = _generate_logs(num_records, relatedness, base_ctr, cvr_rate, rng)
-
-    train_idx, val_idx, test_idx = train_val_test_split(num_records, rng)
-    targets = {"CTR": clicks, "CTCVR": ctcvr}
-    full = ArrayDataset(records, targets)
+def _task_specs() -> list[TaskSpec]:
+    """The CTR / CTCVR task pair (shared by eager and streaming builders)."""
 
     def auc_metric(outputs: np.ndarray, labels: np.ndarray) -> float:
         return roc_auc(_sigmoid(outputs), labels)
 
-    tasks = [
+    return [
         TaskSpec("CTR", bce_with_logits, {"auc": auc_metric}, {"auc": True}),
         TaskSpec("CTCVR", bce_with_logits, {"auc": auc_metric}, {"auc": True}),
     ]
+
+
+def _model_factories(embedding_dim: int, hidden: tuple[int, ...], seed: int):
+    """``(build_model, build_stl_model)`` closures over the architecture knobs.
+
+    Consumes no RNG draws at definition time, so extracting this from the
+    eager builder leaves its datasets byte-identical.
+    """
 
     def _encoder(model_rng: np.random.Generator) -> TabularEncoder:
         return TabularEncoder(_FIELD_SIZES, embedding_dim, list(hidden), model_rng)
@@ -172,6 +164,31 @@ def make_aliexpress(
         model_rng = model_rng or np.random.default_rng(seed)
         head = {task_name: LinearHead(hidden[-1], 1, model_rng)}
         return HardParameterSharing(_encoder(model_rng), head)
+
+    return build_model, build_stl_model
+
+
+def make_aliexpress(
+    country: str = "ES",
+    num_records: int = 4000,
+    relatedness: float = 0.35,
+    embedding_dim: int = 8,
+    hidden: tuple[int, ...] = (32, 16),
+    seed: int = 0,
+) -> Benchmark:
+    """Build the 2-task (CTR, CTCVR) benchmark for one country scenario."""
+    if country not in _COUNTRY_PROFILES:
+        raise ValueError(f"country must be one of {COUNTRIES}")
+    base_ctr, cvr_rate, offset = _COUNTRY_PROFILES[country]
+    rng = np.random.default_rng(seed + offset)
+    records, clicks, ctcvr = _generate_logs(num_records, relatedness, base_ctr, cvr_rate, rng)
+
+    train_idx, val_idx, test_idx = train_val_test_split(num_records, rng)
+    targets = {"CTR": clicks, "CTCVR": ctcvr}
+    full = ArrayDataset(records, targets)
+
+    tasks = _task_specs()
+    build_model, build_stl_model = _model_factories(embedding_dim, hidden, seed)
 
     return Benchmark(
         name=f"aliexpress-{country}",

@@ -26,6 +26,7 @@ __all__ = [
     "DataLoader",
     "Benchmark",
     "train_val_test_split",
+    "batch_count",
     "batch_index_iter",
     "shard_rng",
     "SINGLE_INPUT",
@@ -56,6 +57,22 @@ def shard_rng(seed: int, shard_index: int) -> np.random.Generator:
     if shard_index < 0:
         raise ValueError(f"shard_index must be ≥ 0; got {shard_index}")
     return np.random.default_rng(int(seed) + int(shard_index))
+
+
+def batch_count(n: int, batch_size: int, drop_last: bool = False) -> int:
+    """Number of batches :func:`batch_index_iter` yields over ``n`` rows.
+
+    The single source of truth for the loader ``__len__`` contract: the
+    trailing ``n % batch_size`` rows form one extra partial batch unless
+    ``drop_last``.  Streaming loaders apply this per shard (see
+    ``repro.data.streaming.streaming_batch_count``) — their totals are NOT
+    ``batch_count(total_rows, …)`` because batches never cross shards.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be ≥ 1")
+    if n < 0:
+        raise ValueError(f"n must be ≥ 0; got {n}")
+    return n // batch_size if drop_last else -(-n // batch_size)
 
 
 def batch_index_iter(
@@ -196,10 +213,7 @@ class DataLoader:
         )
 
     def __len__(self) -> int:
-        n = len(self.dataset)
-        if self.drop_last:
-            return n // self.batch_size
-        return (n + self.batch_size - 1) // self.batch_size
+        return batch_count(len(self.dataset), self.batch_size, self.drop_last)
 
     def __iter__(self) -> Iterator:
         for idx in batch_index_iter(

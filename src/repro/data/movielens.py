@@ -105,6 +105,87 @@ class _World:
             histories[row] = rng.choice(self.num_movies, size=_SEQ_LEN, p=probs)
         return histories
 
+    def history_block(self, user: np.ndarray, rng) -> np.ndarray:
+        """Vectorized :meth:`history` (same distribution, different draws).
+
+        One inverse-CDF sample per (row, slot) instead of a per-row
+        ``rng.choice`` loop — the chunked generators call this per shard,
+        where the loop would dominate generation time.
+        """
+        scores = self.users @ self.movies.T
+        logits = 0.5 * (scores[user] - scores[user].max(axis=1, keepdims=True))
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        cdf = np.cumsum(probs, axis=1)
+        draws = rng.random((len(user), _SEQ_LEN))
+        histories = np.empty((len(user), _SEQ_LEN), dtype=np.int64)
+        for slot in range(_SEQ_LEN):
+            histories[:, slot] = (cdf >= draws[:, slot : slot + 1]).argmax(axis=1)
+        return histories
+
+
+def _task_specs(genres: tuple[str, ...]) -> list[TaskSpec]:
+    """Per-genre MSE/RMSE/MAE regression tasks (eager + streaming)."""
+
+    def rmse_metric(outputs: np.ndarray, targets: np.ndarray) -> float:
+        return rmse(outputs, targets)
+
+    def mae_metric(outputs: np.ndarray, targets: np.ndarray) -> float:
+        return mae(outputs, targets)
+
+    return [
+        TaskSpec(
+            genre,
+            mse_loss,
+            {"rmse": rmse_metric, "mae": mae_metric},
+            {"rmse": False, "mae": False},
+        )
+        for genre in genres
+    ]
+
+
+def _model_factories(
+    num_users: int,
+    num_movies: int,
+    embedding_dim: int,
+    out_features: int,
+    genres: tuple[str, ...],
+    seed: int,
+):
+    """``(build_model, build_stl_model)`` closures (no RNG consumed here)."""
+
+    def _encoder(model_rng: np.random.Generator) -> BSTEncoder:
+        return BSTEncoder(
+            num_users, num_movies, _SEQ_LEN, embedding_dim, out_features, model_rng
+        )
+
+    def _gate_input(x) -> Tensor:
+        scale = np.array([num_users, num_movies] + [num_movies] * _SEQ_LEN, dtype=np.float64)
+        return Tensor(np.asarray(x, dtype=np.float64) / scale)
+
+    def build_model(architecture: str = "hps", model_rng: np.random.Generator | None = None):
+        model_rng = model_rng or np.random.default_rng(seed)
+        heads = {genre: LinearHead(out_features, 1, model_rng) for genre in genres}
+        if architecture == "hps":
+            return HardParameterSharing(_encoder(model_rng), heads)
+        if architecture == "mmoe":
+            return MMoE(
+                lambda: _encoder(model_rng),
+                num_experts=3,
+                heads=heads,
+                gate_in_features=2 + _SEQ_LEN,
+                rng=model_rng,
+                gate_input_fn=_gate_input,
+            )
+        raise ValueError(f"movielens supports hps/mmoe; got {architecture!r}")
+
+    def build_stl_model(task_name: str, model_rng: np.random.Generator | None = None):
+        model_rng = model_rng or np.random.default_rng(seed)
+        head = {task_name: LinearHead(out_features, 1, model_rng)}
+        return HardParameterSharing(_encoder(model_rng), head)
+
+    return build_model, build_stl_model
+
 
 def make_movielens(
     genres: tuple[str, ...] = GENRES,
@@ -148,51 +229,10 @@ def make_movielens(
         val[genre] = dataset.subset(va)
         test[genre] = dataset.subset(te)
 
-    def rmse_metric(outputs: np.ndarray, targets: np.ndarray) -> float:
-        return rmse(outputs, targets)
-
-    def mae_metric(outputs: np.ndarray, targets: np.ndarray) -> float:
-        return mae(outputs, targets)
-
-    tasks = [
-        TaskSpec(
-            genre,
-            mse_loss,
-            {"rmse": rmse_metric, "mae": mae_metric},
-            {"rmse": False, "mae": False},
-        )
-        for genre in genres
-    ]
-
-    def _encoder(model_rng: np.random.Generator) -> BSTEncoder:
-        return BSTEncoder(
-            num_users, num_movies, _SEQ_LEN, embedding_dim, out_features, model_rng
-        )
-
-    def _gate_input(x) -> Tensor:
-        scale = np.array([num_users, num_movies] + [num_movies] * _SEQ_LEN, dtype=np.float64)
-        return Tensor(np.asarray(x, dtype=np.float64) / scale)
-
-    def build_model(architecture: str = "hps", model_rng: np.random.Generator | None = None):
-        model_rng = model_rng or np.random.default_rng(seed)
-        heads = {genre: LinearHead(out_features, 1, model_rng) for genre in genres}
-        if architecture == "hps":
-            return HardParameterSharing(_encoder(model_rng), heads)
-        if architecture == "mmoe":
-            return MMoE(
-                lambda: _encoder(model_rng),
-                num_experts=3,
-                heads=heads,
-                gate_in_features=2 + _SEQ_LEN,
-                rng=model_rng,
-                gate_input_fn=_gate_input,
-            )
-        raise ValueError(f"movielens supports hps/mmoe; got {architecture!r}")
-
-    def build_stl_model(task_name: str, model_rng: np.random.Generator | None = None):
-        model_rng = model_rng or np.random.default_rng(seed)
-        head = {task_name: LinearHead(out_features, 1, model_rng)}
-        return HardParameterSharing(_encoder(model_rng), head)
+    tasks = _task_specs(tuple(genres))
+    build_model, build_stl_model = _model_factories(
+        num_users, num_movies, embedding_dim, out_features, tuple(genres), seed
+    )
 
     return Benchmark(
         name="movielens",

@@ -1,0 +1,653 @@
+"""Streaming shard pipeline: chunked generation with bounded memory.
+
+The eager generators materialize every row up front, so epoch memory grows
+linearly with dataset size — fine at reproduction scale, fatal at the
+~100M-row scale of the real AliExpress logs.  This module is the
+streaming counterpart:
+
+- :class:`ChunkedSource` — a generator that produces fixed-size *chunks*
+  (shards) on demand.  Shard ``i`` is a pure function of
+  ``(seed, shard_index)`` via :func:`~repro.data.base.shard_rng`, so any
+  consumer — the sequential loader, a prefetch thread, a data-parallel
+  worker, a warm cache — reconstructs identical bytes independently.
+- :class:`StreamingDataset` — the dataset view over a source: global-index
+  ``batch()`` access through a tiny shard LRU, an optional
+  :class:`~repro.data.shardcache.ShardCache` (write-once ``np.memmap``
+  files), and :meth:`~StreamingDataset.materialize`, the **eager oracle**:
+  the concatenation of all shards as a plain
+  :class:`~repro.data.base.ArrayDataset`.  Streaming and eager paths walk
+  bit-identical rows by construction.
+- :class:`ShardPrefetcher` — the double buffer: a background thread
+  generates shard ``i+1`` while the trainer consumes shard ``i``, hiding
+  generation latency behind compute.  Instrumented with
+  :mod:`repro.obs` spans (``prefetch_shard`` on the producer thread,
+  ``shard_wait`` on the consumer) so the overlap is visible in the
+  Chrome trace.
+- :class:`StreamingLoader` — bounded-memory epoch iteration: shard order
+  and within-shard batch order are shuffled from one seeded generator,
+  consuming the *same* RNG draws as
+  :meth:`StreamingDataset.batch_indices` — which is how the parallel
+  trainer's sharded runs stay on the sequential batch stream.
+
+Ordering contract: batches never cross shard boundaries (each shard's
+trailing ``shard_len % batch_size`` rows form a partial batch unless
+``drop_last``), so one live shard bounds the working set.  The eager
+oracle for equivalence tests is the *same* loader over
+:func:`as_stream` of the materialized arrays — identical index draws,
+identical batches, different storage.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from ..obs import NULL_TELEMETRY
+from .base import (
+    DEFAULT_DATA_SEED,
+    ArrayDataset,
+    batch_count,
+    batch_index_iter,
+    shard_rng,
+)
+
+__all__ = [
+    "ChunkedSource",
+    "EagerSource",
+    "StreamingDataset",
+    "StreamingLoader",
+    "ShardPrefetcher",
+    "as_stream",
+    "num_shards",
+    "shard_row_range",
+    "shard_batch_index_iter",
+    "streaming_batch_count",
+]
+
+#: Shards a :class:`StreamingDataset` keeps materialized for global-index
+#: ``batch()`` access.  Two covers the dominant access patterns: repeated
+#: batches within one shard (the shard-ordered stream) and an eval pass
+#: straddling one shard boundary.
+_SHARD_LRU_CAPACITY = 2
+
+
+def num_shards(total_rows: int, chunk_size: int) -> int:
+    """Shard count for ``total_rows`` rows in ``chunk_size`` chunks.
+
+    The last shard holds the ``total_rows % chunk_size`` remainder (a
+    *partial shard* — every consumer must handle it; see the regression
+    tests in ``tests/data/test_streaming.py``).
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be ≥ 1; got {chunk_size}")
+    if total_rows < 0:
+        raise ValueError(f"total_rows must be ≥ 0; got {total_rows}")
+    return -(-total_rows // chunk_size)
+
+
+def shard_row_range(total_rows: int, chunk_size: int, index: int) -> tuple[int, int]:
+    """Global row interval ``[start, stop)`` of shard ``index``."""
+    shards = num_shards(total_rows, chunk_size)
+    if not 0 <= index < max(shards, 1):
+        raise IndexError(f"shard index {index} out of range for {shards} shards")
+    start = index * chunk_size
+    return start, min(start + chunk_size, total_rows)
+
+
+def streaming_batch_count(
+    total_rows: int, chunk_size: int, batch_size: int, drop_last: bool = False
+) -> int:
+    """Batches one epoch of the shard-ordered stream yields.
+
+    Batches never cross shard boundaries, so the count is per-shard —
+    NOT ``ceil(total/batch)``: a 960-row dataset in 400-row chunks at
+    batch 128 yields ``4+4+2`` batches, not 8.  With ``drop_last`` each
+    shard's trailing partial batch is dropped (a shard smaller than the
+    batch size then contributes zero batches).
+    """
+    count = 0
+    for index in range(num_shards(total_rows, chunk_size)):
+        start, stop = shard_row_range(total_rows, chunk_size, index)
+        count += batch_count(stop - start, batch_size, drop_last)
+    return count
+
+
+def shard_batch_index_iter(
+    total_rows: int,
+    chunk_size: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(shard_index, within-shard positions)`` batches.
+
+    The bounded-memory index stream behind :class:`StreamingLoader` and
+    :meth:`StreamingDataset.batch_indices`: shard order is one
+    permutation draw, then each shard's rows are batched with
+    :func:`~repro.data.base.batch_index_iter` — O(chunk_size) live index
+    memory instead of the eager loader's O(n) permutation.  Both
+    consumers share this exact generator-call sequence, so sequential
+    streaming and data-parallel runs at equal seeds walk identical
+    batches.
+    """
+    rng = rng if rng is not None else np.random.default_rng(DEFAULT_DATA_SEED)
+    shards = num_shards(total_rows, chunk_size)
+    order = np.arange(shards)
+    if shuffle:
+        rng.shuffle(order)
+    for index in order:
+        start, stop = shard_row_range(total_rows, chunk_size, int(index))
+        for positions in batch_index_iter(
+            stop - start, batch_size, rng=rng, shuffle=shuffle, drop_last=drop_last
+        ):
+            yield int(index), positions
+
+
+# ----------------------------------------------------------------------
+# Structure helpers: (inputs, targets) trees of ndarray / tuple / dict
+# ----------------------------------------------------------------------
+def _tree_index(struct, idx: np.ndarray):
+    """Row-index an inputs/targets structure (fancy indexing copies)."""
+    if isinstance(struct, tuple):
+        return tuple(np.asarray(part)[idx] for part in struct)
+    if isinstance(struct, Mapping):
+        return {name: np.asarray(part)[idx] for name, part in struct.items()}
+    return np.asarray(struct)[idx]
+
+
+def _tree_concat(parts: list):
+    """Concatenate a list of same-shaped structures along the row axis."""
+    head = parts[0]
+    if isinstance(head, tuple):
+        return tuple(
+            np.concatenate([part[i] for part in parts], axis=0)
+            for i in range(len(head))
+        )
+    if isinstance(head, Mapping):
+        return {
+            name: np.concatenate([part[name] for part in parts], axis=0)
+            for name in head
+        }
+    return np.concatenate(parts, axis=0)
+
+
+def _tree_rows(struct) -> int:
+    """Row count of an inputs/targets structure."""
+    if isinstance(struct, tuple):
+        return len(struct[0])
+    if isinstance(struct, Mapping):
+        return len(next(iter(struct.values())))
+    return len(struct)
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+class ChunkedSource:
+    """A dataset generator that produces fixed-size chunks on demand.
+
+    Subclasses set ``total_rows``, ``chunk_size`` and ``seed`` (the shard
+    stream seed) and implement :meth:`generate_chunk`, which must be a
+    *pure function* of ``(self.seed, index)`` — typically by drawing every
+    random value from ``shard_rng(self.seed, index)``.  World-level state
+    (latent tables, task directions) is computed in ``__init__`` from the
+    seed alone, so a pickled source regenerates identical shards in any
+    process (the data-parallel workers rely on this).
+
+    ``cache_key()`` returns a string identifying the generated
+    *distribution* (generator name + every parameter that changes the
+    bytes) for the mmap shard cache, or ``None`` to opt out of caching.
+    """
+
+    total_rows: int
+    chunk_size: int
+    seed: int
+
+    @property
+    def num_shards(self) -> int:
+        """Total shard count for this source."""
+        return num_shards(self.total_rows, self.chunk_size)
+
+    def shard_range(self, index: int) -> tuple[int, int]:
+        """Global row interval ``[start, stop)`` of shard ``index``."""
+        return shard_row_range(self.total_rows, self.chunk_size, index)
+
+    def shard_length(self, index: int) -> int:
+        """Row count of shard ``index`` (< chunk_size only for the last)."""
+        start, stop = self.shard_range(index)
+        return stop - start
+
+    def generate_chunk(self, index: int):
+        """Return ``(inputs, targets)`` for shard ``index`` (pure)."""
+        raise NotImplementedError
+
+    def cache_key(self) -> str | None:
+        """Distribution identity for the mmap cache; ``None`` = don't cache."""
+        return None
+
+    def shard_generator(self, index: int) -> np.random.Generator:
+        """The per-shard RNG: ``shard_rng(self.seed, index)``."""
+        return shard_rng(self.seed, index)
+
+
+class EagerSource(ChunkedSource):
+    """Chunk view over an in-memory :class:`ArrayDataset`.
+
+    The eager fallback for generators without a chunked core (the
+    image-like datasets) and the oracle adapter for equivalence tests:
+    any materialized dataset streams through the same loader/prefetcher
+    machinery by slicing rows.  Never cached — the data already lives in
+    memory.
+    """
+
+    def __init__(self, dataset: ArrayDataset, chunk_size: int, seed: int = 0) -> None:
+        self.dataset = dataset
+        self.total_rows = len(dataset)
+        self.chunk_size = int(chunk_size)
+        self.seed = int(seed)
+        num_shards(self.total_rows, self.chunk_size)  # validates chunk_size
+
+    def generate_chunk(self, index: int):
+        """Slice shard ``index`` out of the wrapped in-memory dataset."""
+        start, stop = self.shard_range(index)
+        return self.dataset.batch(np.arange(start, stop))
+
+
+def as_stream(
+    dataset: ArrayDataset, chunk_size: int, **kwargs
+) -> "StreamingDataset":
+    """Wrap an eager dataset as a :class:`StreamingDataset` (oracle view)."""
+    return StreamingDataset(EagerSource(dataset, chunk_size), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Dataset
+# ----------------------------------------------------------------------
+class StreamingDataset:
+    """Dataset view over a :class:`ChunkedSource` with caching and LRU.
+
+    Duck-types the :class:`ArrayDataset` surface the trainer and the
+    data-parallel workers touch (``__len__``, ``batch``), plus the
+    shard-level API the streaming loader and prefetcher consume.
+
+    Parameters
+    ----------
+    source:
+        The chunk generator.
+    cache:
+        Optional :class:`~repro.data.shardcache.ShardCache`; generated
+        shards are written once per ``(cache_key, seed, shard)`` and
+        memory-mapped on every later load, so repeated epochs and
+        repeated benchmark runs pay generation cost once.  Ignored when
+        the source opts out (``cache_key() is None``).
+    prefetch_depth:
+        Shards the background prefetcher may hold ready ahead of the
+        consumer (``1`` = classic double buffering, the default).  ``0``
+        disables the prefetch thread — shards generate synchronously on
+        the consumer thread.
+    telemetry:
+        Default :class:`repro.obs.Telemetry` for cache/generation
+        instrumentation; the trainer's loader overrides it per-fit.
+        Dropped on pickling (workers count into their own sinks).
+    """
+
+    def __init__(
+        self,
+        source: ChunkedSource,
+        cache=None,
+        prefetch_depth: int = 1,
+        telemetry=None,
+    ) -> None:
+        if prefetch_depth < 0:
+            raise ValueError(f"prefetch_depth must be ≥ 0; got {prefetch_depth}")
+        self.source = source
+        self.cache = cache
+        self.prefetch_depth = int(prefetch_depth)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._lru: OrderedDict[int, tuple] = OrderedDict()
+
+    # -- pickling: telemetry and the LRU are process-local ---------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        state["_lru"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.telemetry = NULL_TELEMETRY
+        self._lru = OrderedDict()
+
+    # -- sizes -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self.source.total_rows
+
+    @property
+    def chunk_size(self) -> int:
+        """Rows per shard (the last shard may be shorter)."""
+        return self.source.chunk_size
+
+    @property
+    def num_shards(self) -> int:
+        """Total shard count of the underlying source."""
+        return self.source.num_shards
+
+    def shard_length(self, index: int) -> int:
+        """Row count of shard ``index``."""
+        return self.source.shard_length(index)
+
+    # -- shard access ----------------------------------------------------
+    def load_shard(self, index: int, telemetry=None):
+        """Load shard ``index``: cache hit → mmap, miss → generate + store.
+
+        Returns the raw ``(inputs, targets)`` pair.  Cache traffic is
+        counted as ``stream_cache_{hits,misses}_total``; generation runs
+        under a ``shard_generate`` span so the Chrome trace shows where
+        shards come from.
+        """
+        telemetry = telemetry if telemetry is not None else self.telemetry
+        key = self.source.cache_key() if self.cache is not None else None
+        if key is not None:
+            cached = self.cache.load(key, self.source.seed, index)
+            if cached is not None:
+                telemetry.counter("stream_cache_hits_total").inc()
+                return cached
+            telemetry.counter("stream_cache_misses_total").inc()
+        with telemetry.span("shard_generate", shard=index):
+            inputs, targets = self.source.generate_chunk(index)
+        rows = _tree_rows(inputs)
+        expected = self.shard_length(index)
+        if rows != expected:
+            raise ValueError(
+                f"source {type(self.source).__name__} generated {rows} rows for "
+                f"shard {index}, expected {expected}"
+            )
+        if key is not None:
+            self.cache.store(key, self.source.seed, index, inputs, targets)
+        return inputs, targets
+
+    def shard(self, index: int, telemetry=None):
+        """LRU-cached :meth:`load_shard` (capacity {cap})."""
+        hit = self._lru.get(index)
+        if hit is not None:
+            self._lru.move_to_end(index)
+            return hit
+        data = self.load_shard(index, telemetry=telemetry)
+        self._lru[index] = data
+        if len(self._lru) > _SHARD_LRU_CAPACITY:
+            self._lru.popitem(last=False)
+        return data
+
+    shard.__doc__ = shard.__doc__.format(cap=_SHARD_LRU_CAPACITY)
+
+    # -- ArrayDataset-compatible surface --------------------------------
+    def batch(self, idx: np.ndarray):
+        """``(inputs[idx], targets[idx])`` by global row positions.
+
+        Positions are grouped by shard; each touched shard is loaded once
+        through the LRU.  Row order of ``idx`` is preserved exactly, so
+        this is a drop-in for :meth:`ArrayDataset.batch` — the
+        data-parallel workers call it with their contiguous slice of the
+        step's batch.
+        """
+        idx = np.asarray(idx)
+        if idx.size == 0:
+            raise ValueError("batch requires at least one index")
+        shard_ids = idx // self.chunk_size
+        unique = np.unique(shard_ids)
+        if unique.size == 1:
+            inputs, targets = self.shard(int(unique[0]))
+            rel = idx - int(unique[0]) * self.chunk_size
+            return _tree_index(inputs, rel), _tree_index(targets, rel)
+        # Stable-sort positions by shard, gather per shard, then restore
+        # the caller's row order with one inverse permutation.
+        order = np.argsort(shard_ids, kind="stable")
+        inputs_parts, targets_parts = [], []
+        for shard_id in unique:
+            members = order[shard_ids[order] == shard_id]
+            inputs, targets = self.shard(int(shard_id))
+            rel = idx[members] - int(shard_id) * self.chunk_size
+            inputs_parts.append(_tree_index(inputs, rel))
+            targets_parts.append(_tree_index(targets, rel))
+        inverse = np.empty(idx.size, dtype=np.int64)
+        inverse[order] = np.arange(idx.size)
+        return (
+            _tree_index(_tree_concat(inputs_parts), inverse),
+            _tree_index(_tree_concat(targets_parts), inverse),
+        )
+
+    def materialize(self) -> ArrayDataset:
+        """The eager oracle: all shards concatenated, in shard order.
+
+        Streaming row ``i`` and ``materialize()`` row ``i`` are identical
+        bytes — the equivalence suites compare streaming runs against
+        loaders over this dataset.
+        """
+        if self.num_shards == 0:
+            raise ValueError("cannot materialize an empty stream")
+        inputs_parts, targets_parts = [], []
+        for index in range(self.num_shards):
+            inputs, targets = self.load_shard(index)
+            inputs_parts.append(inputs)
+            targets_parts.append(targets)
+        return ArrayDataset(_tree_concat(inputs_parts), _tree_concat(targets_parts))
+
+    # -- index stream for the parallel trainer --------------------------
+    def batch_indices(
+        self,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+    ) -> Iterator[np.ndarray]:
+        """Global-position batch arrays on the shard-ordered stream.
+
+        Consumes the exact RNG draws of :class:`StreamingLoader`'s epoch,
+        so a parallel run dispatching these indices and a sequential
+        streaming run at the same seed train on identical batches.
+        """
+        for index, positions in shard_batch_index_iter(
+            self.source.total_rows,
+            self.chunk_size,
+            batch_size,
+            rng=rng,
+            shuffle=shuffle,
+            drop_last=drop_last,
+        ):
+            yield index * self.chunk_size + positions
+
+
+# ----------------------------------------------------------------------
+# Prefetcher
+# ----------------------------------------------------------------------
+_SHARD, _DONE, _ERROR = "shard", "done", "error"
+
+
+class ShardPrefetcher:
+    """Double-buffered background shard loading.
+
+    A daemon thread walks ``order`` calling ``load`` (under a
+    ``prefetch_shard`` span on its own thread-local span stack) and
+    parks results in a bounded queue; with ``depth=1`` the producer is
+    always at most one shard ahead — generation of shard ``i+1`` overlaps
+    consumption of shard ``i`` and memory stays bounded at
+    ``depth + 1`` live shards.
+
+    Iterate to receive ``(shard_index, data)`` in order.  A queue that
+    already holds the next shard counts a ``stream_prefetch_hits_total``;
+    an empty queue counts a ``stream_prefetch_stalls_total`` and the wait
+    is timed under a ``shard_wait`` span.  A producer exception is
+    re-raised on the consumer thread at the next ``__next__`` — never
+    swallowed, never masking a consumer-side exception (:meth:`close` is
+    silent).  Always :meth:`close` (or exhaust) the iterator; the
+    streaming loader does so in a ``finally``.
+    """
+
+    def __init__(
+        self,
+        load: Callable[[int], object],
+        order,
+        depth: int = 1,
+        telemetry=None,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be ≥ 1; got {depth}")
+        self._load = load
+        self._order = [int(index) for index in order]
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._produce, name="shard-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    # -- producer thread -------------------------------------------------
+    def _produce(self) -> None:
+        try:
+            for index in self._order:
+                if self._stop.is_set():
+                    return
+                with self._telemetry.span("prefetch_shard", shard=index):
+                    data = self._load(index)
+                if not self._put((_SHARD, index, data)):
+                    return
+            self._put((_DONE, None, None))
+        except BaseException as exc:  # noqa: BLE001 — relayed to consumer
+            self._put((_ERROR, None, exc))
+
+    def _put(self, item) -> bool:
+        """Park ``item``, abandoning (returns False) once stopped."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    # -- consumer side ---------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[int, object]]:
+        try:
+            while True:
+                ready = not self._queue.empty()
+                with self._telemetry.span("shard_wait"):
+                    kind, index, payload = self._queue.get()
+                if kind == _DONE:
+                    return
+                if kind == _ERROR:
+                    raise payload
+                self._telemetry.counter(
+                    "stream_prefetch_hits_total"
+                    if ready
+                    else "stream_prefetch_stalls_total"
+                ).inc()
+                yield index, payload
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the producer and join its thread (idempotent, silent)."""
+        self._stop.set()
+        # Drain so a producer blocked in put() observes the stop flag.
+        while self._thread.is_alive():
+            try:
+                while True:
+                    self._queue.get_nowait()
+            except queue.Empty:
+                pass
+            self._thread.join(timeout=0.05)
+        self._thread.join()
+
+    @property
+    def closed(self) -> bool:
+        """True once the producer thread has terminated."""
+        return not self._thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Loader
+# ----------------------------------------------------------------------
+class StreamingLoader:
+    """Bounded-memory minibatch iterator over a :class:`StreamingDataset`.
+
+    The streaming counterpart of :class:`~repro.data.base.DataLoader`:
+    each ``iter()`` re-shuffles shard order and within-shard order from
+    the loader's generator (reproducible from the seed), batches never
+    cross shard boundaries, and at most ``prefetch_depth + 1`` shards are
+    alive at once.  Closing semantics: the epoch iterator shuts the
+    prefetch thread down in a ``finally``, so breaking out mid-epoch —
+    or an exception unwinding through the consuming loop — leaks no
+    thread and keeps the original exception.
+    """
+
+    def __init__(
+        self,
+        dataset: StreamingDataset,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: int | None = None,
+        telemetry=None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be ≥ 1")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.telemetry = telemetry if telemetry is not None else dataset.telemetry
+        self.rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng(DEFAULT_DATA_SEED if seed is None else seed)
+        )
+
+    def __len__(self) -> int:
+        return streaming_batch_count(
+            len(self.dataset), self.dataset.chunk_size, self.batch_size, self.drop_last
+        )
+
+    def __iter__(self) -> Iterator:
+        # Same draw sequence as shard_batch_index_iter: one shard-order
+        # permutation up front (the prefetcher needs the order), then each
+        # shard's batch positions as it is consumed.
+        order = np.arange(self.dataset.num_shards)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        prefetcher = None
+        if self.dataset.prefetch_depth > 0:
+            load = lambda index: self.dataset.load_shard(index, telemetry=self.telemetry)  # noqa: E731
+            prefetcher = ShardPrefetcher(
+                load,
+                order,
+                depth=self.dataset.prefetch_depth,
+                telemetry=self.telemetry,
+            )
+            shards = iter(prefetcher)
+        else:
+            shards = (
+                (int(index), self.dataset.load_shard(int(index), telemetry=self.telemetry))
+                for index in order
+            )
+        try:
+            for index, (inputs, targets) in shards:
+                for positions in batch_index_iter(
+                    self.dataset.shard_length(index),
+                    self.batch_size,
+                    rng=self.rng,
+                    shuffle=self.shuffle,
+                    drop_last=self.drop_last,
+                ):
+                    yield _tree_index(inputs, positions), _tree_index(targets, positions)
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()

@@ -46,6 +46,47 @@ def uniform_conflict_gram(num_tasks: int, cosine: float) -> np.ndarray:
     return gram
 
 
+def _task_specs(task_type: str, num_tasks: int) -> list[TaskSpec]:
+    """K regression or classification task specs (eager + streaming)."""
+    if task_type == "regression":
+        metrics = {"rmse": lambda o, t: rmse(o, t), "mae": lambda o, t: mae(o, t)}
+        directions_map = {"rmse": False, "mae": False}
+        loss_fn = mse_loss
+    else:
+        metrics = {"auc": lambda o, t: roc_auc(1.0 / (1.0 + np.exp(-o)), t)}
+        directions_map = {"auc": True}
+        loss_fn = bce_with_logits
+    return [
+        TaskSpec(f"task{k}", loss_fn, dict(metrics), dict(directions_map))
+        for k in range(num_tasks)
+    ]
+
+
+def _model_factories(
+    in_features: int, hidden: tuple[int, ...], num_tasks: int, seed: int
+):
+    """``(build_model, build_stl_model)`` closures (no RNG consumed here)."""
+
+    def build_model(architecture: str = "hps", model_rng: np.random.Generator | None = None):
+        if architecture != "hps":
+            raise ValueError("the synthetic benchmark ships an HPS factory only")
+        model_rng = model_rng or np.random.default_rng(seed)
+        encoder = MLPEncoder(in_features, list(hidden), model_rng)
+        heads = {
+            f"task{k}": LinearHead(hidden[-1], 1, model_rng) for k in range(num_tasks)
+        }
+        return HardParameterSharing(encoder, heads)
+
+    def build_stl_model(task_name: str, model_rng: np.random.Generator | None = None):
+        model_rng = model_rng or np.random.default_rng(seed)
+        encoder = MLPEncoder(in_features, list(hidden), model_rng)
+        return HardParameterSharing(
+            encoder, {task_name: LinearHead(hidden[-1], 1, model_rng)}
+        )
+
+    return build_model, build_stl_model
+
+
 def make_synthetic_mtl(
     num_tasks: int = 3,
     num_samples: int = 600,
@@ -93,36 +134,8 @@ def make_synthetic_mtl(
     dataset = ArrayDataset(inputs, targets)
     train_idx, val_idx, test_idx = train_val_test_split(num_samples, rng)
 
-    if task_type == "regression":
-        metrics = {"rmse": lambda o, t: rmse(o, t), "mae": lambda o, t: mae(o, t)}
-        directions_map = {"rmse": False, "mae": False}
-        loss_fn = mse_loss
-    else:
-        metrics = {"auc": lambda o, t: roc_auc(1.0 / (1.0 + np.exp(-o)), t)}
-        directions_map = {"auc": True}
-        loss_fn = bce_with_logits
-
-    tasks = [
-        TaskSpec(f"task{k}", loss_fn, dict(metrics), dict(directions_map))
-        for k in range(num_tasks)
-    ]
-
-    def build_model(architecture: str = "hps", model_rng: np.random.Generator | None = None):
-        if architecture != "hps":
-            raise ValueError("the synthetic benchmark ships an HPS factory only")
-        model_rng = model_rng or np.random.default_rng(seed)
-        encoder = MLPEncoder(in_features, list(hidden), model_rng)
-        heads = {
-            f"task{k}": LinearHead(hidden[-1], 1, model_rng) for k in range(num_tasks)
-        }
-        return HardParameterSharing(encoder, heads)
-
-    def build_stl_model(task_name: str, model_rng: np.random.Generator | None = None):
-        model_rng = model_rng or np.random.default_rng(seed)
-        encoder = MLPEncoder(in_features, list(hidden), model_rng)
-        return HardParameterSharing(
-            encoder, {task_name: LinearHead(hidden[-1], 1, model_rng)}
-        )
+    tasks = _task_specs(task_type, num_tasks)
+    build_model, build_stl_model = _model_factories(in_features, hidden, num_tasks, seed)
 
     return Benchmark(
         name=f"synthetic-{task_type}",

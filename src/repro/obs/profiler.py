@@ -134,14 +134,28 @@ class Profiler(Sink):
         origin = min((float(s[key]) for s in spans), default=0.0)
         events: list[dict] = []
         pid = os.getpid()
-        for tid in sorted({int(s.get("tid", 0)) for s in spans}):
+
+        def chrome_tid(telemetry_id: int, thread: int) -> int:
+            # Thread 0 keeps the bare telemetry id (old traces unchanged);
+            # helper threads (shard prefetcher, …) get their own track.
+            return telemetry_id if thread == 0 else telemetry_id * 1000 + thread
+
+        tracks = sorted(
+            {(int(s.get("tid", 0)), int(s.get("thread", 0))) for s in spans}
+        )
+        for telemetry_id, thread in tracks:
+            name = (
+                f"telemetry-{telemetry_id}"
+                if thread == 0
+                else f"telemetry-{telemetry_id}/t{thread}"
+            )
             events.append(
                 {
                     "ph": "M",
                     "name": "thread_name",
                     "pid": pid,
-                    "tid": tid,
-                    "args": {"name": f"telemetry-{tid}"},
+                    "tid": chrome_tid(telemetry_id, thread),
+                    "args": {"name": name},
                 }
             )
         for span in spans:
@@ -157,7 +171,9 @@ class Profiler(Sink):
                     "cat": "span",
                     "name": span["name"],
                     "pid": pid,
-                    "tid": int(span.get("tid", 0)),
+                    "tid": chrome_tid(
+                        int(span.get("tid", 0)), int(span.get("thread", 0))
+                    ),
                     "ts": (float(span[key]) - origin) * 1e6,  # microseconds
                     "dur": float(span["seconds"]) * 1e6,
                     "args": args,

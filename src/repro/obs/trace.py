@@ -45,6 +45,11 @@ class SpanRecord:
     perf_start: float = 0.0  # perf_counter at entry (monotonic timeline)
     memory_delta: int | None = None  # tracemalloc bytes delta, if tracked
     error: bool = False  # the span body raised
+    #: Per-tracer thread index: 0 for the first thread that opened a span
+    #: on this tracer (the trainer thread), 1+ for helpers like the shard
+    #: prefetcher.  Lets the Chrome-trace exporter draw background work on
+    #: its own track so producer/consumer overlap is visible.
+    thread: int = 0
 
     def to_event(self) -> dict:
         """The JSONL event this span serializes to."""
@@ -62,6 +67,8 @@ class SpanRecord:
             event["mem_bytes"] = self.memory_delta
         if self.error:
             event["error"] = True
+        if self.thread:
+            event["thread"] = self.thread
         return event
 
 
@@ -129,6 +136,7 @@ class _SpanContext:
                 perf_start=self._start_perf,
                 memory_delta=memory_delta,
                 error=exc_type is not None,
+                thread=self._tracer.thread_index(),
             )
         )
 
@@ -151,6 +159,11 @@ class Tracer:
         self._local = threading.local()
         self._durations: dict[str, list[float]] = {}
         self._lock = threading.Lock()
+        self._thread_count = 0
+        # The constructing thread (the trainer) claims index 0 up front, so
+        # helper threads always render on secondary tracks even when one of
+        # them (e.g. the shard prefetcher) opens the run's first span.
+        self._stack()
         self.on_close = on_close
         #: when True (and ``tracemalloc`` is tracing), every span records
         #: its tracemalloc current-size delta as ``SpanRecord.memory_delta``.
@@ -163,7 +176,15 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._local.thread_index = self._thread_count
+                self._thread_count += 1
         return stack
+
+    def thread_index(self) -> int:
+        """This thread's per-tracer index (0 = first span-opening thread)."""
+        self._stack()
+        return self._local.thread_index
 
     def span(self, name: str, **labels) -> _SpanContext:
         """Open a (nested) span; use as ``with tracer.span("forward"): ...``."""

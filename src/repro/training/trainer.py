@@ -82,6 +82,7 @@ from ..data.base import (
     TaskSpec,
     batch_index_iter,
 )
+from ..data.streaming import StreamingDataset, StreamingLoader
 from ..nn.arena import ParameterArena
 from ..nn.module import Parameter
 from ..nn.optim import SGD, Adam, AdaGrad, Optimizer, RMSProp
@@ -873,12 +874,20 @@ class MTLTrainer:
         batch_size: int,
         eval_data=None,
         max_steps_per_epoch: int | None = None,
+        drop_last: bool = False,
     ) -> History:
         """Train for ``epochs`` epochs; optionally evaluate per epoch.
 
-        ``train_data`` is an :class:`ArrayDataset` (single-input) or a
-        ``{task: ArrayDataset}`` mapping (multi-input).  On completion the
-        trainer's metric registry is flushed to the attached sinks.
+        ``train_data`` is an :class:`ArrayDataset` or
+        :class:`~repro.data.streaming.StreamingDataset` (single-input), or
+        a ``{task: dataset}`` mapping of either (multi-input).  Streaming
+        datasets iterate in bounded memory — shards are generated (or
+        mmap-loaded) on demand, double-buffered by a prefetch thread that
+        is shut down even when a training step raises.  ``drop_last``
+        discards each epoch's trailing partial batch (per shard for
+        streams) — useful when a stateful balancer assumes a fixed batch
+        shape.  On completion the trainer's metric registry is flushed to
+        the attached sinks.
 
         In parallel mode the worker pool is started on entry and shut down
         before returning (even on error), so workers never outlive a fit.
@@ -890,12 +899,16 @@ class MTLTrainer:
             for _ in range(epochs):
                 if executor is not None:
                     self._run_epoch_parallel(
-                        executor, train_data, batch_size, max_steps_per_epoch
+                        executor, train_data, batch_size, max_steps_per_epoch, drop_last
                     )
                 elif self.mode == SINGLE_INPUT:
-                    self._run_epoch_single(train_data, batch_size, max_steps_per_epoch)
+                    self._run_epoch_single(
+                        train_data, batch_size, max_steps_per_epoch, drop_last
+                    )
                 else:
-                    self._run_epoch_multi(train_data, batch_size, max_steps_per_epoch)
+                    self._run_epoch_multi(
+                        train_data, batch_size, max_steps_per_epoch, drop_last
+                    )
                 metrics = self.evaluate(eval_data) if eval_data is not None else None
                 self.history.close_epoch(metrics)
                 self.telemetry.counter("train_epochs_total", **self._step_labels).inc()
@@ -942,13 +955,27 @@ class MTLTrainer:
         )
 
     def _run_epoch_parallel(
-        self, executor: ParallelExecutor, dataset: ArrayDataset, batch_size: int, max_steps
+        self,
+        executor: ParallelExecutor,
+        dataset: ArrayDataset,
+        batch_size: int,
+        max_steps,
+        drop_last: bool = False,
     ) -> None:
-        # Same generator calls as the sequential DataLoader — parallel and
+        # Same generator calls as the sequential loader — parallel and
         # sequential runs with equal seeds walk identical batch streams.
-        for step, idx in enumerate(
-            batch_index_iter(len(dataset), batch_size, rng=self.rng)
-        ):
+        # Streaming datasets hand out global indices on the shard-ordered
+        # stream; every batch lies inside one shard, so each worker's
+        # contiguous slice touches a single shard of its own dataset copy.
+        if isinstance(dataset, StreamingDataset):
+            index_stream = dataset.batch_indices(
+                batch_size, rng=self.rng, drop_last=drop_last
+            )
+        else:
+            index_stream = batch_index_iter(
+                len(dataset), batch_size, rng=self.rng, drop_last=drop_last
+            )
+        for step, idx in enumerate(index_stream):
             if max_steps is not None and step >= max_steps:
                 break
             self._parallel_train_step(executor, idx)
@@ -994,33 +1021,78 @@ class MTLTrainer:
         self._finish_step(losses)
         return losses
 
-    def _run_epoch_single(self, dataset: ArrayDataset, batch_size: int, max_steps) -> None:
-        loader = DataLoader(dataset, batch_size, rng=self.rng)
-        for step, (inputs, targets) in enumerate(loader):
-            if max_steps is not None and step >= max_steps:
-                break
-            self.train_step_single(inputs, targets)
+    def _make_loader(self, dataset, batch_size: int, drop_last: bool):
+        """The epoch loader for one dataset: eager or streaming."""
+        if isinstance(dataset, StreamingDataset):
+            return StreamingLoader(
+                dataset,
+                batch_size,
+                rng=self.rng,
+                drop_last=drop_last,
+                telemetry=self.telemetry,
+            )
+        return DataLoader(dataset, batch_size, rng=self.rng, drop_last=drop_last)
 
-    def _run_epoch_multi(self, datasets: Mapping[str, ArrayDataset], batch_size: int, max_steps) -> None:
+    @staticmethod
+    def _close_iterator(iterator) -> None:
+        """Release a loader iterator's resources (prefetch threads)."""
+        close = getattr(iterator, "close", None)
+        if close is not None:
+            close()
+
+    def _run_epoch_single(
+        self, dataset: ArrayDataset, batch_size: int, max_steps, drop_last: bool = False
+    ) -> None:
+        iterator = iter(self._make_loader(dataset, batch_size, drop_last))
+        # Closing in a finally (not just on exhaustion) is what guarantees
+        # a raising train step leaves no prefetch thread behind — and a
+        # generator's close() never masks the in-flight exception.
+        try:
+            for step, (inputs, targets) in enumerate(iterator):
+                if max_steps is not None and step >= max_steps:
+                    break
+                self.train_step_single(inputs, targets)
+        finally:
+            self._close_iterator(iterator)
+
+    def _run_epoch_multi(
+        self,
+        datasets: Mapping[str, ArrayDataset],
+        batch_size: int,
+        max_steps,
+        drop_last: bool = False,
+    ) -> None:
         iterators = {}
         loaders = {
-            name: DataLoader(dataset, batch_size, rng=self.rng)
+            name: self._make_loader(dataset, batch_size, drop_last)
             for name, dataset in datasets.items()
         }
         steps = max(len(loader) for loader in loaders.values())
         if max_steps is not None:
             steps = min(steps, max_steps)
+        empty = sorted(name for name, loader in loaders.items() if len(loader) == 0)
+        if steps > 0 and empty:
+            # Cycling an empty loader would StopIteration forever; name the
+            # offender instead (drop_last with batch_size > rows hits this).
+            raise ValueError(
+                f"task datasets {empty} yield no batches at batch_size="
+                f"{batch_size} with drop_last={drop_last}"
+            )
         for name, loader in loaders.items():
             iterators[name] = iter(loader)
-        for _ in range(steps):
-            batches = {}
-            for task in self.tasks:
-                try:
-                    batches[task.name] = next(iterators[task.name])
-                except StopIteration:
-                    iterators[task.name] = iter(loaders[task.name])
-                    batches[task.name] = next(iterators[task.name])
-            self.train_step_multi(batches)
+        try:
+            for _ in range(steps):
+                batches = {}
+                for task in self.tasks:
+                    try:
+                        batches[task.name] = next(iterators[task.name])
+                    except StopIteration:
+                        iterators[task.name] = iter(loaders[task.name])
+                        batches[task.name] = next(iterators[task.name])
+                self.train_step_multi(batches)
+        finally:
+            for iterator in iterators.values():
+                self._close_iterator(iterator)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -1,0 +1,223 @@
+"""Tests for the write-once mmap shard cache (``repro.data.shardcache``).
+
+The robustness contract under test: a cache file is *never* silently
+trusted — corruption of any kind (torn write, truncation, stale version,
+identity mismatch) makes ``load`` return ``None`` and delete the file so
+the caller regenerates it.
+"""
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import ShardCache
+from repro.data import shardcache as shardcache_module
+from repro.data.shardcache import CACHE_VERSION, MAGIC
+
+
+def sample_shard(rows: int = 16):
+    rng = np.random.default_rng(7)
+    inputs = rng.integers(0, 100, size=(rows, 5), dtype=np.int64)
+    targets = {
+        "ctr": rng.integers(0, 2, size=rows).astype(np.float64),
+        "cvr": rng.normal(size=rows).astype(np.float32),
+    }
+    return inputs, targets
+
+
+class TestRoundtrip:
+    def test_mapping_targets_bitwise(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        cache.store("k", 3, 0, inputs, targets)
+        loaded_inputs, loaded_targets = cache.load("k", 3, 0)
+        np.testing.assert_array_equal(loaded_inputs, inputs)
+        assert loaded_inputs.dtype == inputs.dtype
+        for name in targets:
+            np.testing.assert_array_equal(loaded_targets[name], targets[name])
+            assert loaded_targets[name].dtype == targets[name].dtype
+
+    def test_tuple_inputs_roundtrip(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        rng = np.random.default_rng(0)
+        inputs = (rng.normal(size=(8, 2)), rng.integers(0, 5, size=(8, 3)))
+        targets = rng.normal(size=8)
+        cache.store("k", 0, 1, inputs, targets)
+        loaded_inputs, loaded_targets = cache.load("k", 0, 1)
+        assert isinstance(loaded_inputs, tuple) and len(loaded_inputs) == 2
+        np.testing.assert_array_equal(loaded_inputs[0], inputs[0])
+        np.testing.assert_array_equal(loaded_inputs[1], inputs[1])
+        np.testing.assert_array_equal(loaded_targets, targets)
+
+    def test_loaded_arrays_are_readonly_memmaps(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        cache.store("k", 0, 0, inputs, targets)
+        loaded_inputs, _ = cache.load("k", 0, 0)
+        assert isinstance(loaded_inputs, np.memmap)
+        with pytest.raises((ValueError, OSError)):
+            loaded_inputs[0, 0] = 1
+
+    def test_missing_file_is_a_clean_miss(self, tmp_path):
+        assert ShardCache(tmp_path).load("nope", 0, 0) is None
+
+    def test_store_is_write_once(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        path = cache.store("k", 0, 0, inputs, targets)
+        stamp = path.stat().st_mtime_ns
+        other_inputs = inputs + 1
+        assert cache.store("k", 0, 0, other_inputs, targets) == path
+        assert path.stat().st_mtime_ns == stamp  # not rewritten
+        loaded_inputs, _ = cache.load("k", 0, 0)
+        np.testing.assert_array_equal(loaded_inputs, inputs)
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        cache.store("k", 0, 0, inputs, targets)
+        assert [p.suffix for p in tmp_path.iterdir()] == [".shard"]
+
+
+class TestCorruptionDetection:
+    def corrupt_and_load(self, tmp_path, mutate):
+        """Store a shard, mutate its bytes, and attempt a load."""
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        path = cache.store("k", 5, 2, inputs, targets)
+        raw = bytearray(path.read_bytes())
+        path.write_bytes(bytes(mutate(raw)))
+        result = cache.load("k", 5, 2)
+        return result, path
+
+    def test_truncated_payload_rejected_and_deleted(self, tmp_path):
+        result, path = self.corrupt_and_load(tmp_path, lambda raw: raw[:-10])
+        assert result is None
+        assert not path.exists()
+
+    def test_bad_magic_rejected_and_deleted(self, tmp_path):
+        def mutate(raw):
+            raw[:len(MAGIC)] = b"X" * len(MAGIC)
+            return raw
+
+        result, path = self.corrupt_and_load(tmp_path, mutate)
+        assert result is None
+        assert not path.exists()
+
+    def test_implausible_header_length_rejected(self, tmp_path):
+        def mutate(raw):
+            raw[len(MAGIC):len(MAGIC) + 8] = struct.pack("<Q", 1 << 40)
+            return raw
+
+        result, path = self.corrupt_and_load(tmp_path, mutate)
+        assert result is None
+        assert not path.exists()
+
+    def test_garbage_header_rejected(self, tmp_path):
+        def mutate(raw):
+            start = len(MAGIC) + 8
+            raw[start:start + 4] = b"\xff\xfe\xfd\xfc"
+            return raw
+
+        result, path = self.corrupt_and_load(tmp_path, mutate)
+        assert result is None
+        assert not path.exists()
+
+    def test_version_mismatch_rejected_and_deleted(self, tmp_path, monkeypatch):
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        monkeypatch.setattr(shardcache_module, "CACHE_VERSION", CACHE_VERSION + 1)
+        path = cache.store("k", 0, 0, inputs, targets)
+        monkeypatch.undo()
+        assert cache.load("k", 0, 0) is None
+        assert not path.exists()
+
+    def test_identity_mismatch_rejected(self, tmp_path):
+        # A file copied (or hash-collided) onto another key's path must
+        # fail the header identity check, not serve the wrong data.
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        source = cache.store("key-a", 0, 0, inputs, targets)
+        impostor = cache.path_for("key-b", 0, 0)
+        impostor.write_bytes(source.read_bytes())
+        assert cache.load("key-b", 0, 0) is None
+        assert not impostor.exists()
+        # The original entry is untouched.
+        assert cache.load("key-a", 0, 0) is not None
+
+    def test_wrong_seed_or_shard_never_served(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        path = cache.store("k", 0, 0, inputs, targets)
+        copy = cache.path_for("k", 1, 0)
+        copy.write_bytes(path.read_bytes())
+        assert cache.load("k", 1, 0) is None
+
+
+class TestTornWrite:
+    def test_writer_killed_mid_flush_never_poisons_the_cache(self, tmp_path):
+        """SIGKILL a writer that flushed the header but not the payload
+        (the worst torn write: a plausible prefix on the *final* path);
+        load must reject + delete it, and a re-store must recover."""
+        import repro
+
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "import sys, time\n"
+                    "import numpy as np\n"
+                    "from repro.data import ShardCache\n"
+                    "cache = ShardCache(sys.argv[1])\n"
+                    "path = cache.path_for('k', 5, 2)\n"
+                    "inputs = np.arange(80, dtype=np.int64).reshape(16, 5)\n"
+                    "targets = {'ctr': np.ones(16), 'cvr': np.zeros(16)}\n"
+                    "class HeaderOnly:\n"
+                    "    def __init__(self, fh): self.fh, self.calls = fh, 0\n"
+                    "    def write(self, data):\n"
+                    "        self.fh.write(data)\n"
+                    "        self.calls += 1\n"
+                    "        if self.calls == 3:  # magic + length + header out\n"
+                    "            self.fh.flush()\n"
+                    "            print('TORN', flush=True)\n"
+                    "            time.sleep(600)\n"
+                    "with open(path, 'wb') as fh:\n"
+                    "    ShardCache._write_to(HeaderOnly(fh), 'k', 5, 2, "
+                    "inputs, targets)\n"
+                ),
+                str(tmp_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = child.stdout.readline()
+            assert line.strip() == "TORN", f"writer never reached flush: {line!r}"
+        finally:
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+
+        cache = ShardCache(tmp_path)
+        torn = cache.path_for("k", 5, 2)
+        deadline = time.monotonic() + 10
+        while not torn.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert torn.exists(), "writer produced no file"
+        assert cache.load("k", 5, 2) is None
+        assert not torn.exists()
+
+        inputs, targets = sample_shard()
+        cache.store("k", 5, 2, inputs, targets)
+        loaded_inputs, _ = cache.load("k", 5, 2)
+        np.testing.assert_array_equal(loaded_inputs, inputs)

@@ -1,0 +1,259 @@
+"""Tests for the streaming shard pipeline core (``repro.data.streaming``)."""
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    ShardPrefetcher,
+    StreamingLoader,
+    as_stream,
+    batch_count,
+    num_shards,
+    shard_batch_index_iter,
+    shard_row_range,
+    streaming_batch_count,
+)
+from repro.obs import Telemetry
+
+
+def make_dataset(rows: int, seed: int = 0) -> ArrayDataset:
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.normal(size=(rows, 3)),
+        {"a": rng.normal(size=rows), "b": rng.normal(size=rows)},
+    )
+
+
+def wait_for_no_prefetch_threads(deadline_seconds: float = 5.0) -> bool:
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        if not any(
+            t.name == "shard-prefetch" and t.is_alive() for t in threading.enumerate()
+        ):
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestShardMath:
+    def test_num_shards_exact_and_remainder(self):
+        assert num_shards(1000, 250) == 4
+        assert num_shards(1001, 250) == 5
+        assert num_shards(0, 250) == 0
+
+    def test_chunk_larger_than_dataset_is_one_shard(self):
+        assert num_shards(10, 1000) == 1
+        assert shard_row_range(10, 1000, 0) == (0, 10)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            num_shards(10, 0)
+        with pytest.raises(ValueError):
+            num_shards(-1, 4)
+        with pytest.raises(IndexError):
+            shard_row_range(10, 4, 3)
+
+    def test_last_shard_is_partial(self):
+        assert shard_row_range(10, 4, 2) == (8, 10)
+
+    def test_streaming_batch_count_is_per_shard(self):
+        # 960 rows in 400-row shards at batch 128: shards of 400/400/160
+        # yield 4+4+2 batches — not ceil(960/128) = 8.
+        assert streaming_batch_count(960, 400, 128) == 10
+        assert streaming_batch_count(960, 400, 128, drop_last=True) == 3 + 3 + 1
+
+    def test_drop_last_can_drop_a_whole_small_shard(self):
+        # The 2-row trailing shard is below the batch size: zero batches.
+        assert streaming_batch_count(10, 4, 4, drop_last=True) == 1 + 1 + 0
+
+    def test_shard_batch_index_iter_covers_every_row_once(self):
+        seen = []
+        for index, positions in shard_batch_index_iter(
+            37, 10, 4, rng=np.random.default_rng(3)
+        ):
+            start, stop = shard_row_range(37, 10, index)
+            assert np.all(positions < stop - start)
+            seen.extend((index * 10 + positions).tolist())
+        assert sorted(seen) == list(range(37))
+
+
+class TestBatchCount:
+    @pytest.mark.parametrize("rows,batch", [(10, 4), (12, 4), (3, 8)])
+    @pytest.mark.parametrize("drop_last", [False, True])
+    def test_matches_loader_len_and_actual_yields(self, rows, batch, drop_last):
+        loader = DataLoader(
+            make_dataset(rows), batch_size=batch, shuffle=False, drop_last=drop_last
+        )
+        batches = list(loader)
+        assert len(loader) == batch_count(rows, batch, drop_last)
+        assert len(batches) == len(loader)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            batch_count(10, 0)
+        with pytest.raises(ValueError):
+            batch_count(-1, 4)
+
+
+class TestStreamingDataset:
+    @pytest.mark.parametrize("rows,chunk", [(20, 7), (20, 5), (3, 100)])
+    def test_materialize_restores_the_original_rows(self, rows, chunk):
+        dataset = make_dataset(rows)
+        restored = as_stream(dataset, chunk).materialize()
+        np.testing.assert_array_equal(restored.inputs, dataset.inputs)
+        for name in ("a", "b"):
+            np.testing.assert_array_equal(restored.targets[name], dataset.targets[name])
+
+    def test_global_batch_matches_eager_across_shards(self):
+        dataset = make_dataset(23)
+        stream = as_stream(dataset, 5)
+        idx = np.random.default_rng(1).permutation(23)[:11]
+        x_stream, t_stream = stream.batch(idx)
+        x_eager, t_eager = dataset.batch(idx)
+        np.testing.assert_array_equal(x_stream, x_eager)
+        np.testing.assert_array_equal(t_stream["a"], t_eager["a"])
+
+    def test_lru_holds_at_most_two_shards(self):
+        stream = as_stream(make_dataset(40), 10)
+        for index in range(4):
+            stream.shard(index)
+        assert len(stream._lru) == 2
+        assert list(stream._lru) == [2, 3]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            as_stream(make_dataset(10), 4).batch(np.array([], dtype=np.int64))
+
+    def test_pickle_drops_telemetry_and_lru(self):
+        stream = as_stream(make_dataset(10), 4, telemetry=Telemetry())
+        stream.shard(0)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone._lru == {}
+        # A pickled stream must still load shards (workers rely on it).
+        inputs, _ = clone.load_shard(1)
+        np.testing.assert_array_equal(inputs, stream.load_shard(1)[0])
+
+    def test_rejects_negative_prefetch_depth(self):
+        with pytest.raises(ValueError):
+            as_stream(make_dataset(10), 4, prefetch_depth=-1)
+
+    def test_generated_row_count_is_validated(self):
+        stream = as_stream(make_dataset(10), 4)
+        stream.source.generate_chunk = lambda index: (
+            np.zeros((3, 2)),
+            np.zeros(3),
+        )
+        with pytest.raises(ValueError, match="expected 4"):
+            stream.load_shard(0)
+
+
+class TestStreamingLoader:
+    @pytest.mark.parametrize("prefetch_depth", [0, 1])
+    def test_covers_every_row_exactly_once(self, prefetch_depth):
+        dataset = make_dataset(37)
+        stream = as_stream(dataset, 10, prefetch_depth=prefetch_depth)
+        loader = StreamingLoader(stream, batch_size=4, seed=5)
+        total = sum(len(x) for x, _ in loader)
+        assert total == 37
+        assert len(loader) == streaming_batch_count(37, 10, 4)
+
+    def test_prefetch_does_not_change_the_batch_stream(self):
+        dataset = make_dataset(41)
+        plain = StreamingLoader(as_stream(dataset, 8, prefetch_depth=0), 4, seed=9)
+        prefetched = StreamingLoader(as_stream(dataset, 8, prefetch_depth=1), 4, seed=9)
+        for (x0, t0), (x1, t1) in zip(plain, prefetched, strict=True):
+            np.testing.assert_array_equal(x0, x1)
+            np.testing.assert_array_equal(t0["b"], t1["b"])
+
+    def test_batches_never_cross_shard_boundaries(self):
+        rows, chunk, batch = 22, 8, 8
+        dataset = ArrayDataset(np.arange(rows, dtype=np.float64), np.zeros(rows))
+        loader = StreamingLoader(
+            as_stream(dataset, chunk), batch, shuffle=False
+        )
+        sizes = [len(x) for x, _ in loader]
+        assert sizes == [8, 8, 6]  # the 6-row trailing shard stays partial
+
+    def test_drop_last_is_per_shard(self):
+        dataset = make_dataset(22)
+        loader = StreamingLoader(as_stream(dataset, 8), 8, seed=0, drop_last=True)
+        sizes = [len(x) for x, _ in loader]
+        assert sizes == [8, 8]  # trailing 6-row shard yields no full batch
+        assert len(loader) == 2
+
+    def test_matches_batch_indices_draw_sequence(self):
+        # The loader and the parallel trainer's index stream must consume
+        # identical RNG draws, or parallel runs diverge from sequential.
+        dataset = make_dataset(37)
+        stream = as_stream(dataset, 10)
+        loader_batches = list(
+            StreamingLoader(stream, 4, rng=np.random.default_rng(11))
+        )
+        index_stream = stream.batch_indices(4, rng=np.random.default_rng(11))
+        for (x, targets), idx in zip(loader_batches, index_stream, strict=True):
+            x_ref, t_ref = dataset.batch(idx)
+            np.testing.assert_array_equal(x, x_ref)
+            np.testing.assert_array_equal(targets["a"], t_ref["a"])
+
+    def test_early_exit_leaks_no_prefetch_thread(self):
+        loader = StreamingLoader(as_stream(make_dataset(40), 4, prefetch_depth=1), 4)
+        iterator = iter(loader)
+        next(iterator)
+        iterator.close()  # generator finally closes the prefetcher
+        assert wait_for_no_prefetch_threads()
+
+    def test_rejects_bad_arguments(self):
+        stream = as_stream(make_dataset(10), 4)
+        with pytest.raises(ValueError):
+            StreamingLoader(stream, 0)
+        with pytest.raises(ValueError):
+            StreamingLoader(stream, 4, rng=np.random.default_rng(0), seed=1)
+
+
+class TestShardPrefetcher:
+    def test_yields_in_order_with_counters(self):
+        telemetry = Telemetry()
+        prefetcher = ShardPrefetcher(
+            lambda index: index * 10, [2, 0, 1], telemetry=telemetry
+        )
+        assert list(prefetcher) == [(2, 20), (0, 0), (1, 10)]
+        hits = telemetry.counter("stream_prefetch_hits_total").value
+        stalls = telemetry.counter("stream_prefetch_stalls_total").value
+        assert hits + stalls == 3
+        assert prefetcher.closed
+
+    def test_producer_error_reaches_the_consumer(self):
+        def load(index):
+            if index == 1:
+                raise RuntimeError("generation failed")
+            return index
+
+        prefetcher = ShardPrefetcher(load, [0, 1, 2])
+        with pytest.raises(RuntimeError, match="generation failed"):
+            list(prefetcher)
+        assert wait_for_no_prefetch_threads()
+
+    def test_close_is_idempotent_and_stops_the_producer(self):
+        started = threading.Event()
+
+        def slow_load(index):
+            started.set()
+            time.sleep(0.01)
+            return index
+
+        prefetcher = ShardPrefetcher(slow_load, list(range(100)))
+        started.wait(timeout=5)
+        prefetcher.close()
+        prefetcher.close()
+        assert prefetcher.closed
+        assert wait_for_no_prefetch_threads()
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            ShardPrefetcher(lambda index: index, [0], depth=0)

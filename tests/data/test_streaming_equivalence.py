@@ -1,0 +1,189 @@
+"""Streaming-vs-eager equivalence: identical batches, identical training.
+
+The eager path is the reference oracle: ``StreamingDataset.materialize()``
+concatenates every shard, and :func:`~repro.data.as_stream` over that
+dataset walks the *same* loader machinery with the same RNG draws — so a
+streaming run and its materialized oracle must produce bit-identical
+batches and (sequentially) bit-identical trained parameters, across
+generators, gradient spaces, and the data-parallel trainer.
+"""
+
+import threading
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.balancer import create_balancer
+from repro.data import (
+    StreamingLoader,
+    as_stream,
+    make_aliexpress_stream,
+    make_movielens_stream,
+    make_synthetic_stream,
+)
+from repro.training import MTLTrainer
+
+GENRES = ("Crime", "Documentary")
+
+
+def make_stream(name: str):
+    if name == "aliexpress":
+        return make_aliexpress_stream(
+            num_records=384, chunk_size=128, val_records=32, test_records=32, seed=3
+        )
+    if name == "movielens":
+        return make_movielens_stream(
+            genres=GENRES,
+            records_per_genre=192,
+            chunk_size=64,
+            val_records=32,
+            test_records=32,
+            seed=3,
+        )
+    if name == "synthetic":
+        return make_synthetic_stream(
+            num_samples=384, chunk_size=128, val_records=32, test_records=32, seed=3
+        )
+    raise ValueError(name)
+
+
+def oracle_view(train_data):
+    """The eager oracle: materialized shards behind the same loader."""
+    if isinstance(train_data, dict):
+        return {name: oracle_view(data) for name, data in train_data.items()}
+    return as_stream(train_data.materialize(), train_data.chunk_size)
+
+
+def fit_params(benchmark, train_data, grad_space="parameters", parallel=0):
+    def factory():
+        return benchmark.build_model("hps", np.random.default_rng(0))
+
+    model = factory()
+    kwargs = {}
+    if parallel:
+        kwargs.update(parallel=parallel, model_factory=factory)
+    trainer = MTLTrainer(
+        model,
+        benchmark.tasks,
+        create_balancer("equal", seed=0),
+        mode=benchmark.mode,
+        grad_space=grad_space,
+        seed=0,
+        **kwargs,
+    )
+    trainer.fit(train_data, epochs=2, batch_size=64)
+    return np.concatenate([np.asarray(p.data).ravel() for p in model.parameters()])
+
+
+def no_prefetch_threads(deadline_seconds: float = 5.0) -> bool:
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        if not any(
+            t.name == "shard-prefetch" and t.is_alive() for t in threading.enumerate()
+        ):
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("name", ["aliexpress", "synthetic"])
+    def test_streaming_batches_are_bit_identical_to_eager(self, name):
+        train = make_stream(name).train
+        oracle = oracle_view(train)
+        stream_loader = StreamingLoader(train, 64, seed=11)
+        oracle_loader = StreamingLoader(oracle, 64, seed=11)
+        for (x_s, t_s), (x_o, t_o) in zip(stream_loader, oracle_loader, strict=True):
+            np.testing.assert_array_equal(x_s, x_o)
+            if isinstance(t_s, dict):
+                for task in t_s:
+                    np.testing.assert_array_equal(t_s[task], t_o[task])
+            else:
+                np.testing.assert_array_equal(t_s, t_o)
+
+    def test_movielens_per_genre_streams_match_eager(self):
+        train = make_stream("movielens").train
+        assert set(train) == set(GENRES)
+        for genre, dataset in train.items():
+            oracle = oracle_view(dataset)
+            for (x_s, t_s), (x_o, t_o) in zip(
+                StreamingLoader(dataset, 32, seed=5),
+                StreamingLoader(oracle, 32, seed=5),
+                strict=True,
+            ):
+                np.testing.assert_array_equal(x_s, x_o)
+                np.testing.assert_array_equal(t_s, t_o)
+
+
+class TestTrainingEquivalence:
+    @pytest.mark.parametrize("name", ["aliexpress", "synthetic"])
+    @pytest.mark.parametrize("grad_space", ["parameters", "features"])
+    def test_single_input_stream_trains_identically_to_eager(self, name, grad_space):
+        benchmark = make_stream(name)
+        streamed = fit_params(benchmark, benchmark.train, grad_space=grad_space)
+        eager = fit_params(benchmark, oracle_view(benchmark.train), grad_space=grad_space)
+        np.testing.assert_array_equal(streamed, eager)
+
+    def test_movielens_multi_input_stream_trains_identically_to_eager(self):
+        benchmark = make_stream("movielens")
+        streamed = fit_params(benchmark, benchmark.train)
+        eager = fit_params(benchmark, oracle_view(benchmark.train))
+        np.testing.assert_array_equal(streamed, eager)
+
+    @pytest.mark.parametrize("name", ["aliexpress", "synthetic"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parallel_streaming_matches_sequential(self, name, workers):
+        benchmark = make_stream(name)
+        sequential = fit_params(benchmark, benchmark.train)
+        parallel = fit_params(benchmark, benchmark.train, parallel=workers)
+        # Workers sum partial gradients in a different association order,
+        # so equality is up to float round-off, not bitwise.
+        np.testing.assert_allclose(parallel, sequential, rtol=0, atol=1e-9)
+
+
+class TestTrainerShutdown:
+    def test_step_exception_propagates_and_leaks_no_prefetch_thread(self, monkeypatch):
+        benchmark = make_stream("synthetic")
+        model = benchmark.build_model("hps", np.random.default_rng(0))
+        trainer = MTLTrainer(
+            model, benchmark.tasks, create_balancer("equal", seed=0), seed=0
+        )
+        original = trainer.train_step_single
+        calls = {"count": 0}
+
+        def failing_step(x, targets):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise RuntimeError("step exploded")
+            return original(x, targets)
+
+        monkeypatch.setattr(trainer, "train_step_single", failing_step)
+        with pytest.raises(RuntimeError, match="step exploded"):
+            trainer.fit(benchmark.train, epochs=1, batch_size=64)
+        assert no_prefetch_threads()
+
+
+class TestBoundedMemory:
+    def test_streaming_peak_is_flat_when_rows_grow_10x(self):
+        def peak_bytes(rows: int) -> int:
+            tracemalloc.start()
+            try:
+                tracemalloc.reset_peak()
+                benchmark = make_synthetic_stream(
+                    num_samples=rows, chunk_size=128, val_records=8, test_records=8
+                )
+                for x, _ in StreamingLoader(benchmark.train, 64, seed=0):
+                    x.sum()
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            return peak
+
+        base = peak_bytes(1024)
+        grown = peak_bytes(10240)
+        assert grown < 2 * base, (
+            f"streaming peak grew from {base} to {grown} bytes across a "
+            "10x row-count step — the working set is not bounded"
+        )

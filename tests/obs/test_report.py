@@ -120,6 +120,35 @@ class TestFormatReport:
         report = format_report(summarize_events([]))
         assert "No spans recorded" in report
 
+    def test_renders_streaming_pipeline_section(self):
+        def counter(name, value):
+            return {
+                "type": "metric",
+                "kind": "counter",
+                "name": name,
+                "labels": {},
+                "value": value,
+                "tid": 1,
+            }
+
+        events = [
+            counter("stream_prefetch_hits_total", 6),
+            counter("stream_prefetch_stalls_total", 2),
+            counter("stream_cache_hits_total", 5),
+            counter("stream_cache_misses_total", 3),
+        ]
+        report = format_report(summarize_events(events))
+        assert "Streaming data pipeline" in report
+        assert "prefetch hits: 6" in report
+        assert "cache misses: 3" in report
+        assert "prefetch hit rate: 75.0%" in report
+
+    def test_streaming_section_absent_without_traffic(self):
+        report = format_report(
+            summarize_events([{"type": "span", "path": "step", "seconds": 0.1}])
+        )
+        assert "Streaming data pipeline" not in report
+
 
 class TestEndToEndRoundtrip:
     def test_telemetry_to_file_to_report(self, tmp_path):

@@ -96,3 +96,34 @@ class TestTelemetryCLI:
     def test_report_without_path_errors(self):
         with pytest.raises(SystemExit):
             main(["report"])
+
+
+class TestTrainStreaming:
+    def test_streaming_flag_reports_pipeline_counters(self, capsys, tmp_path):
+        cache_dir = tmp_path / "shards"
+        argv = [
+            "train",
+            "--streaming",
+            "--steps",
+            "2",
+            "--tasks",
+            "2",
+            "--chunk-size",
+            "256",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "streaming: chunk=256" in out
+        assert "prefetch hits=" in out
+        assert "misses=2" in out  # 512 rows / 256-row chunks, cold cache
+        assert len(list(cache_dir.glob("*.shard"))) == 2
+        # A second run over the same cache serves every shard from disk.
+        assert main(argv) == 0
+        assert "cache hits=2 misses=0" in capsys.readouterr().out
+
+    def test_streaming_defaults_skip_the_cache(self, capsys):
+        assert main(["train", "--streaming", "--steps", "2", "--tasks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hits=0 misses=0" in out
