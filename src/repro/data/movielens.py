@@ -64,6 +64,7 @@ class _World:
         self.num_users = num_users
         self.num_movies = num_movies
         self.genres = genres
+        self.relatedness = float(relatedness)
         self.users = rng.normal(scale=1.0, size=(num_users, _LATENT_DIM))
         self.movies = rng.normal(scale=1.0, size=(num_movies, _LATENT_DIM))
         common = rng.normal(size=(_LATENT_DIM, _LATENT_DIM))

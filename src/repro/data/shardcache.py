@@ -226,6 +226,16 @@ class ShardCache:
             fh.write(arr.tobytes())
 
     # -- maintenance -----------------------------------------------------
+    def discard(self, key: str, seed: int, index: int) -> None:
+        """Drop one cached shard so the next load regenerates it.
+
+        For callers that detect a structurally valid but semantically
+        wrong entry (e.g. a row count that no longer matches the source's
+        shard layout because the cache key under-specified the
+        distribution).
+        """
+        self._discard(self.path_for(key, seed, index))
+
     @staticmethod
     def _discard(path: Path) -> None:
         try:

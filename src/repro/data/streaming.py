@@ -351,17 +351,22 @@ class StreamingDataset:
         shards come from.
         """
         telemetry = telemetry if telemetry is not None else self.telemetry
+        expected = self.shard_length(index)
         key = self.source.cache_key() if self.cache is not None else None
         if key is not None:
             cached = self.cache.load(key, self.source.seed, index)
-            if cached is not None:
+            if cached is not None and _tree_rows(cached[0]) == expected:
                 telemetry.counter("stream_cache_hits_total").inc()
                 return cached
+            if cached is not None:
+                # Structurally valid file, wrong row count: a mis-keyed or
+                # under-specified cache entry.  Never trust it — drop and
+                # regenerate through the validated path below.
+                self.cache.discard(key, self.source.seed, index)
             telemetry.counter("stream_cache_misses_total").inc()
         with telemetry.span("shard_generate", shard=index):
             inputs, targets = self.source.generate_chunk(index)
         rows = _tree_rows(inputs)
-        expected = self.shard_length(index)
         if rows != expected:
             raise ValueError(
                 f"source {type(self.source).__name__} generated {rows} rows for "
@@ -383,7 +388,8 @@ class StreamingDataset:
             self._lru.popitem(last=False)
         return data
 
-    shard.__doc__ = shard.__doc__.format(cap=_SHARD_LRU_CAPACITY)
+    if shard.__doc__:  # stripped under python -OO
+        shard.__doc__ = shard.__doc__.format(cap=_SHARD_LRU_CAPACITY)
 
     # -- ArrayDataset-compatible surface --------------------------------
     def batch(self, idx: np.ndarray):
@@ -476,7 +482,8 @@ class ShardPrefetcher:
     parks results in a bounded queue; with ``depth=1`` the producer is
     always at most one shard ahead — generation of shard ``i+1`` overlaps
     consumption of shard ``i`` and memory stays bounded at
-    ``depth + 1`` live shards.
+    ``depth + 2`` live shards (``depth`` queued, at worst one more
+    finished in the producer blocked on ``put``, one in the consumer).
 
     Iterate to receive ``(shard_index, data)`` in order.  A queue that
     already holds the next shard counts a ``stream_prefetch_hits_total``;
@@ -579,8 +586,8 @@ class StreamingLoader:
     The streaming counterpart of :class:`~repro.data.base.DataLoader`:
     each ``iter()`` re-shuffles shard order and within-shard order from
     the loader's generator (reproducible from the seed), batches never
-    cross shard boundaries, and at most ``prefetch_depth + 1`` shards are
-    alive at once.  Closing semantics: the epoch iterator shuts the
+    cross shard boundaries, and at most ``prefetch_depth + 2`` shards are
+    alive at once (see :class:`ShardPrefetcher` for the bound).  Closing semantics: the epoch iterator shuts the
     prefetch thread down in a ``finally``, so breaking out mid-epoch —
     or an exception unwinding through the consuming loop — leaks no
     thread and keeps the original exception.

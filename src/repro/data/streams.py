@@ -282,7 +282,7 @@ class MovieLensGenreStream(ChunkedSource):
         ) == world.num_movies
         return (
             f"movielens/{self.genre}/u{world.num_users}/m{world.num_movies}"
-            f"/g{len(world.genres)}/shared{int(shared)}"
+            f"/g{len(world.genres)}/rel{world.relatedness}/shared{int(shared)}"
             f"/rows{self.total_rows}/chunk{self.chunk_size}/{self.split}"
         )
 

@@ -84,6 +84,19 @@ class TestRoundtrip:
         cache.store("k", 0, 0, inputs, targets)
         assert [p.suffix for p in tmp_path.iterdir()] == [".shard"]
 
+    def test_discard_drops_entry_and_allows_rewrite(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        inputs, targets = sample_shard()
+        path = cache.store("k", 0, 0, inputs, targets)
+        cache.discard("k", 0, 0)
+        assert not path.exists()
+        assert cache.load("k", 0, 0) is None
+        cache.discard("k", 0, 0)  # idempotent on a missing file
+        other_inputs = inputs + 1
+        cache.store("k", 0, 0, other_inputs, targets)
+        loaded_inputs, _ = cache.load("k", 0, 0)
+        np.testing.assert_array_equal(loaded_inputs, other_inputs)
+
 
 class TestCorruptionDetection:
     def corrupt_and_load(self, tmp_path, mutate):

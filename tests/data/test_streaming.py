@@ -1,16 +1,23 @@
 """Tests for the streaming shard pipeline core (``repro.data.streaming``)."""
 
+import os
 import pickle
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.data import (
     ArrayDataset,
+    ChunkedSource,
     DataLoader,
+    ShardCache,
     ShardPrefetcher,
+    StreamingDataset,
     StreamingLoader,
     as_stream,
     batch_count,
@@ -39,6 +46,18 @@ def wait_for_no_prefetch_threads(deadline_seconds: float = 5.0) -> bool:
             return True
         time.sleep(0.01)
     return False
+
+
+def test_module_imports_with_docstrings_stripped():
+    """Regression: class-body ``__doc__.format`` must survive ``-OO``."""
+    import repro
+
+    src = str(Path(repro.__file__).parents[1])
+    subprocess.run(
+        [sys.executable, "-OO", "-c", "import repro.data.streaming"],
+        check=True,
+        env={**os.environ, "PYTHONPATH": src},
+    )
 
 
 class TestShardMath:
@@ -151,6 +170,55 @@ class TestStreamingDataset:
         )
         with pytest.raises(ValueError, match="expected 4"):
             stream.load_shard(0)
+
+
+class UnderKeyedSource(ChunkedSource):
+    """Source whose cache_key deliberately omits ``total_rows``.
+
+    Models a user source with an under-specified key: two configurations
+    that generate different shard layouts collide on the same cache
+    entry, which ``load_shard`` must detect instead of silently serving
+    the wrong rows.
+    """
+
+    def __init__(self, total_rows: int, chunk_size: int, seed: int = 0) -> None:
+        self.total_rows = total_rows
+        self.chunk_size = chunk_size
+        self.seed = seed
+
+    def generate_chunk(self, index: int):
+        rng = self.shard_generator(index)
+        rows = self.shard_length(index)
+        return rng.normal(size=(rows, 2)), rng.normal(size=rows)
+
+    def cache_key(self) -> str:
+        return "underkeyed"
+
+
+class TestCachedShardValidation:
+    def test_mis_keyed_cache_hit_is_discarded_and_regenerated(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        StreamingDataset(UnderKeyedSource(8, 8), cache=cache).load_shard(0)
+
+        telemetry = Telemetry()
+        narrower = StreamingDataset(UnderKeyedSource(6, 8), cache=cache)
+        inputs, targets = narrower.load_shard(0, telemetry=telemetry)
+        assert len(inputs) == 6 and len(targets) == 6
+        assert telemetry.counter("stream_cache_hits_total").value == 0
+        assert telemetry.counter("stream_cache_misses_total").value == 1
+        # The stale entry was replaced: the next load is a valid hit.
+        inputs, _ = narrower.load_shard(0, telemetry=telemetry)
+        assert len(inputs) == 6
+        assert telemetry.counter("stream_cache_hits_total").value == 1
+
+    def test_matching_cache_hit_still_served(self, tmp_path):
+        cache = ShardCache(tmp_path)
+        telemetry = Telemetry()
+        stream = StreamingDataset(UnderKeyedSource(8, 8), cache=cache)
+        first, _ = stream.load_shard(0, telemetry=telemetry)
+        hit, _ = stream.load_shard(0, telemetry=telemetry)
+        np.testing.assert_array_equal(first, hit)
+        assert telemetry.counter("stream_cache_hits_total").value == 1
 
 
 class TestStreamingLoader:
