@@ -1,0 +1,211 @@
+"""Serving benchmark: micro-batched throughput and the no-autograd forward.
+
+Times the two claims ``repro.serve`` makes, and writes
+``BENCH_serve.json`` at the repository root:
+
+- ``batched`` — N single-row requests answered through the
+  :class:`~repro.serve.Server` micro-batcher (requests coalesce into
+  batched forwards) vs the ``sequential`` reference oracle that forwards
+  each request alone — the same model, the same
+  :func:`~repro.nn.inference_mode` fast path, no batching.  On a BLAS
+  backend one 64-row matmul beats 64 one-row matmuls by a wide margin,
+  so this speedup is the whole point of the batcher;
+- ``no_grad`` — forward-only inference under ``inference_mode`` vs the
+  ``graph`` training forward that records the autograd graph (parents,
+  grad fns, ctx) it would need for backward.  Serving never calls
+  backward, so the bookkeeping is pure overhead.
+
+Both ratios are self-normalizing (each pair runs on the same host in the
+same process), which is what ``benchmarks/trend.py`` tracks as
+``serve/batched`` and ``serve/no_grad``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the run for CI and exits non-zero if either speedup
+drops below 1.0 — batched serving slower than one-by-one, or the fast
+path slower than the graph-building forward, would each mean the
+serving layer is a pessimization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from benchlib import provenance
+
+from repro.arch.factory import build_mlp_model
+from repro.nn.tensor import Tensor, inference_mode
+from repro.serve import Server
+
+IN_FEATURES = 32
+HIDDEN = [64, 64, 64]
+TASKS = ["ctr", "ctcvr", "pay"]
+SEED = 0
+MAX_BATCH = 64
+MAX_WAIT_MS = 1.0
+
+
+def _model():
+    return build_mlp_model("hps", IN_FEATURES, HIDDEN, TASKS, seed=SEED)
+
+
+# ----------------------------------------------------------------------
+# batched vs sequential request serving
+# ----------------------------------------------------------------------
+def time_sequential(model, requests) -> float:
+    """The oracle: answer every request with its own single-row forward."""
+    start = time.perf_counter()
+    with inference_mode():
+        for rows in requests:
+            for out in model.forward_all(rows).values():
+                out.data  # touch the outputs like a real consumer would
+    return time.perf_counter() - start
+
+
+def time_batched(model, requests) -> float:
+    """Answer the same requests through the micro-batching server."""
+    config = {"max_batch_size": MAX_BATCH, "max_wait_ms": MAX_WAIT_MS}
+    with Server(model, config) as server:
+        start = time.perf_counter()
+        futures = [server.submit(rows) for rows in requests]
+        for future in futures:
+            future.result()
+        return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# inference_mode vs graph-building forward
+# ----------------------------------------------------------------------
+def time_graph_forward(model, x, iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        model.forward_all(Tensor(x, requires_grad=True))
+    return time.perf_counter() - start
+
+
+def time_inference_forward(model, x, iterations: int) -> float:
+    start = time.perf_counter()
+    with inference_mode():
+        for _ in range(iterations):
+            model.forward_all(x)
+    return time.perf_counter() - start
+
+
+def run(num_requests: int, forward_iterations: int, repeats: int) -> dict:
+    import numpy as np
+
+    model = _model()
+    model.eval()
+    rng = np.random.default_rng(SEED)
+    requests = [rng.standard_normal((1, IN_FEATURES)) for _ in range(num_requests)]
+    x = rng.standard_normal((256, IN_FEATURES))
+
+    # Warm-up both paths (BLAS thread pools, allocator), then best-of-
+    # ``repeats`` with the modes interleaved so host noise skews all of
+    # them equally.
+    time_sequential(model, requests[:8])
+    time_batched(model, requests[:8])
+    time_graph_forward(model, x, 2)
+    time_inference_forward(model, x, 2)
+
+    timings: dict[str, float] = {}
+    for _ in range(repeats):
+        for mode, fn in (
+            ("sequential", lambda: time_sequential(model, requests)),
+            ("batched", lambda: time_batched(model, requests)),
+            ("graph", lambda: time_graph_forward(model, x, forward_iterations)),
+            ("no_grad", lambda: time_inference_forward(model, x, forward_iterations)),
+        ):
+            seconds = fn()
+            timings[mode] = min(timings.get(mode, seconds), seconds)
+
+    results = []
+    for mode, baseline in (
+        ("sequential", "sequential"),
+        ("batched", "sequential"),
+        ("graph", "graph"),
+        ("no_grad", "graph"),
+    ):
+        row = {
+            "mode": mode,
+            "seconds": timings[mode],
+            "speedup": timings[baseline] / timings[mode],
+        }
+        if mode in ("sequential", "batched"):
+            row["requests_per_sec"] = num_requests / timings[mode]
+        else:
+            row["rows_per_sec"] = 256 * forward_iterations / timings[mode]
+        results.append(row)
+
+    return {
+        "benchmark": "serve",
+        "workload": {
+            "architecture": "hps",
+            "in_features": IN_FEATURES,
+            "hidden": HIDDEN,
+            "tasks": len(TASKS),
+            "requests": num_requests,
+            "rows_per_request": 1,
+            "max_batch_size": MAX_BATCH,
+            "max_wait_ms": MAX_WAIT_MS,
+            "forward_batch": 256,
+            "forward_iterations": forward_iterations,
+            "repeats": repeats,
+        },
+        **provenance(),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run; fail (exit 1) if batched serving is slower "
+        "than sequential or inference_mode is slower than the graph forward",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+        help="output JSON path (default: <repo root>/BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+
+    num_requests = 512 if args.smoke else 2048
+    forward_iterations = 30 if args.smoke else 100
+    repeats = 3 if args.smoke else 5
+    report = run(num_requests, forward_iterations, repeats)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{'mode':>12} {'seconds':>9} {'throughput':>12} {'speedup':>9}")
+    for row in report["results"]:
+        throughput = row.get("requests_per_sec", row.get("rows_per_sec"))
+        print(
+            f"{row['mode']:>12} {row['seconds']:>9.3f} "
+            f"{throughput:>12.0f} {row['speedup']:>8.2f}x"
+        )
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        speedups = {row["mode"]: row["speedup"] for row in report["results"]}
+        failures = [
+            f"{mode}: {speedups[mode]:.2f}x < 1.0x"
+            for mode in ("batched", "no_grad")
+            if speedups[mode] < 1.0
+        ]
+        if failures:
+            print("SMOKE GATE FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,10 @@ Tracked metrics (label → speedup):
   cost at shared-parameter count d (``bench_feature_space.py``);
 - ``streaming/prefetch`` / ``streaming/warm_cache`` — double-buffered
   streaming and warm mmap-cache epochs vs the eager materialize-then-
-  iterate baseline (``bench_streaming.py``).
+  iterate baseline (``bench_streaming.py``);
+- ``serve/batched`` / ``serve/no_grad`` — micro-batched request serving
+  vs one-forward-per-request, and the no-autograd inference forward vs
+  the graph-building forward (``bench_serve.py``).
 
 Speedup ratios are self-normalizing (both sides of each ratio run on the
 same machine in the same process), so history entries from different
@@ -99,6 +102,14 @@ def extract_metrics(report: dict) -> dict[str, float]:
         # cold-cache and sync-streaming rows are diagnostics, not gates:
         # only the two modes users run for speed are trend-tracked.
         tracked = {"prefetch": "streaming/prefetch", "cache_warm": "streaming/warm_cache"}
+        for row in report.get("results", []):
+            label = tracked.get(row["mode"])
+            if label is not None:
+                metrics[label] = float(row["speedup"])
+    elif kind == "serve":
+        # sequential and graph rows are the baselines (speedup 1.0 by
+        # construction) — only the two fast paths are trend-tracked.
+        tracked = {"batched": "serve/batched", "no_grad": "serve/no_grad"}
         for row in report.get("results", []):
             label = tracked.get(row["mode"])
             if label is not None:

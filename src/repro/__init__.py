@@ -20,7 +20,7 @@ Quick start::
     print(trainer.evaluate(bench.test))
 """
 
-from . import analysis, arch, balancers, core, data, experiments, metrics, nn, obs, training
+from . import analysis, arch, balancers, core, data, experiments, metrics, nn, obs, serve, training
 from .core import (
     GradientBalancer,
     GradStats,
@@ -46,6 +46,7 @@ __all__ = [
     "analysis",
     "experiments",
     "obs",
+    "serve",
     "MoCoGrad",
     "GradStats",
     "GradientBalancer",

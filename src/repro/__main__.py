@@ -9,6 +9,7 @@ Usage::
     python -m repro table1 --telemetry out.jsonl   # stream telemetry events
     python -m repro report out.jsonl               # pretty-print a saved run
     python -m repro report run.jsonl run.worker*.jsonl   # merge a parallel run
+    python -m repro serve --requests 512 --clients 8     # micro-batched inference demo
 
 Flight recorder (see DESIGN.md, "Flight recorder")::
 
@@ -93,6 +94,84 @@ def _run_fig9(preset: str, methods) -> str:
     result = lambda_sensitivity()
     rows = list(zip(result["lambda"], result["avg_accuracy"]))
     return format_table(["λ", "Avg ACC"], rows, title="Fig. 9", float_digits=3)
+
+
+def _run_serve(args) -> str:
+    """Serving demo: micro-batched multi-scenario inference, instrumented."""
+    import threading
+
+    import numpy as np
+
+    from .obs import Telemetry
+    from .serve import ModelRegistry, Server, model_spec, save_model
+
+    registry = ModelRegistry()
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    if not scenarios:
+        raise SystemExit("--scenarios must name at least one scenario")
+    if args.checkpoint:
+        model = registry.load(args.checkpoint, name="served")
+        spec = registry.spec("served")
+        in_features = int(spec.get("config", {}).get("in_features", args.features))
+    else:
+        spec = model_spec(
+            "mlp",
+            architecture=args.arch,
+            in_features=args.features,
+            hidden=[32, 32],
+            tasks=[f"task{i}" for i in range(args.tasks)],
+            seed=args.seed,
+        )
+        model = registry.build(spec)
+        in_features = args.features
+        if args.save_checkpoint:
+            path = save_model(model, args.save_checkpoint, spec)
+            print(f"saved self-describing checkpoint to {path}")
+
+    telemetry = Telemetry()
+    rng = np.random.default_rng(args.seed)
+    requests = [
+        (rng.standard_normal((args.rows, in_features)), scenarios[i % len(scenarios)])
+        for i in range(args.requests)
+    ]
+    config = {"max_batch_size": args.max_batch_size, "max_wait_ms": args.max_wait_ms}
+    with Server({s: model for s in scenarios}, config, telemetry) as server:
+        futures = [None] * len(requests)
+
+        def client(start: int) -> None:
+            for i in range(start, len(requests), args.clients):
+                rows, scenario = requests[i]
+                futures[i] = server.submit(rows, scenario)
+
+        begin = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(t,)) for t in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - begin
+        stats = server.stats()
+
+    total_rows = args.requests * args.rows
+    lines = [
+        f"served {args.requests} requests × {args.rows} rows "
+        f"({len(scenarios)} scenarios, {args.clients} clients) in {elapsed * 1000.0:.1f} ms "
+        f"— {total_rows / elapsed:,.0f} rows/s",
+        f"batches: {stats['batches']['count']} "
+        f"(mean {stats['batches']['mean_rows']:.1f} rows, "
+        f"p99 {stats['batches']['p99_rows']:.0f})",
+    ]
+    for scenario, digest in stats["scenarios"].items():
+        lines.append(
+            f"  {scenario}: {digest['requests']} requests, "
+            f"p50 ≤ {digest['p50_seconds'] * 1000.0:g} ms, "
+            f"p99 ≤ {digest['p99_seconds'] * 1000.0:g} ms"
+        )
+    return "\n".join(lines)
 
 
 ANALYSIS_RUNNERS = {
@@ -195,7 +274,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Regenerate tables/figures of the MoCoGrad paper.",
     )
-    parser.add_argument("experiment", choices=experiments + ["list", "report", "train"])
+    parser.add_argument(
+        "experiment", choices=experiments + ["list", "report", "serve", "train"]
+    )
     parser.add_argument(
         "path",
         nargs="*",
@@ -263,8 +344,43 @@ def main(argv: list[str] | None = None) -> int:
         "(write-once per shard; repeated runs reuse cached shards)",
     )
     train.add_argument("--steps", type=int, default=200, help="train: optimization steps")
-    train.add_argument("--tasks", type=int, default=4, help="train: task count K")
-    train.add_argument("--seed", type=int, default=0, help="train: RNG seed")
+    train.add_argument("--tasks", type=int, default=4, help="train/serve: task count K")
+    train.add_argument("--seed", type=int, default=0, help="train/serve: RNG seed")
+    serve = parser.add_argument_group("serve subcommand (micro-batched inference demo)")
+    serve.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="serve: load the model from a self-describing checkpoint "
+        "(written by repro.serve.save_model) instead of building one",
+    )
+    serve.add_argument(
+        "--save-checkpoint",
+        metavar="PATH",
+        default=None,
+        help="serve: write the freshly built model as a self-describing "
+        "checkpoint before serving (demo of the save→load round trip)",
+    )
+    serve.add_argument(
+        "--arch",
+        default="hps",
+        help="serve: architecture for the built model (see repro.arch.MLP_ARCHITECTURES)",
+    )
+    serve.add_argument(
+        "--scenarios",
+        default="ES,FR,NL,US",
+        help="serve: comma-separated scenario keys routed to the model",
+    )
+    serve.add_argument("--requests", type=int, default=256, help="serve: request count")
+    serve.add_argument("--rows", type=int, default=1, help="serve: rows per request")
+    serve.add_argument("--clients", type=int, default=4, help="serve: client threads")
+    serve.add_argument("--features", type=int, default=16, help="serve: input features")
+    serve.add_argument(
+        "--max-batch-size", type=int, default=64, help="serve: rows per coalesced batch"
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="serve: batch latency budget (ms)"
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -305,7 +421,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     try:
         methods = tuple(args.methods.split(",")) if args.methods else METHODS
-        if args.experiment == "train":
+        if args.experiment == "serve":
+            print(_run_serve(args))
+        elif args.experiment == "train":
             print(_run_train(args))
         elif args.experiment in REGISTRY:
             print(_run_table(args.experiment, args.preset, methods))

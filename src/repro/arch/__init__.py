@@ -10,6 +10,12 @@ from .base import MTLModel
 from .cgc import CGC
 from .cross_stitch import CrossStitch
 from .encoders import BSTEncoder, ConvEncoder, GCNEncoder, MLPEncoder, TabularEncoder
+from .factory import (
+    MLP_ARCHITECTURES,
+    TABULAR_ARCHITECTURES,
+    build_mlp_model,
+    build_tabular_model,
+)
 from .heads import DenseHead, LinearHead, MLPHead
 from .hps import HardParameterSharing
 from .mmoe import MMoE
@@ -34,6 +40,10 @@ __all__ = [
     "LinearHead",
     "MLPHead",
     "DenseHead",
+    "MLP_ARCHITECTURES",
+    "TABULAR_ARCHITECTURES",
+    "build_mlp_model",
+    "build_tabular_model",
 ]
 
 ARCHITECTURES = ("hps", "cross_stitch", "mtan", "mmoe", "cgc")

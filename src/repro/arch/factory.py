@@ -1,0 +1,187 @@
+"""Spec-driven architecture construction for checkpoint reconstruction.
+
+A served model must be rebuildable from nothing but a checkpoint file:
+:func:`repro.nn.serialization.save_checkpoint` stores parameter values, and
+the metadata block stores a *model spec* — a small JSON-serializable dict
+naming a builder here plus its keyword arguments.  The
+:class:`repro.serve.ModelRegistry` reads the spec, calls the builder to get
+a structurally identical module (same parameter names and shapes), then
+loads the saved state over it.
+
+Two builders cover the repo's single-input model families:
+
+- :func:`build_mlp_model` — every architecture in :data:`ARCHITECTURES`
+  (plus PLE) over MLP stages and linear heads, the synthetic-benchmark
+  model family;
+- :func:`build_tabular_model` — the AliExpress family: categorical
+  ``TabularEncoder`` trunk under HPS/MMoE/CGC with linear CTR/CTCVR-style
+  heads.
+
+Initialization consumes a seeded generator, so rebuilding a spec is
+deterministic even before the checkpoint state is applied.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.layers import MLP, Linear, ReLU, Sequential
+from ..nn.tensor import Tensor
+from .base import MTLModel
+from .cgc import CGC
+from .cross_stitch import CrossStitch
+from .encoders import MLPEncoder, TabularEncoder
+from .heads import LinearHead
+from .hps import HardParameterSharing
+from .mmoe import MMoE
+from .mtan import MTAN, VectorAttention
+from .ple import PLE
+
+__all__ = ["MLP_ARCHITECTURES", "TABULAR_ARCHITECTURES", "build_mlp_model", "build_tabular_model"]
+
+#: Architectures :func:`build_mlp_model` can assemble.
+MLP_ARCHITECTURES = ("hps", "cross_stitch", "mtan", "mmoe", "cgc", "ple")
+
+#: Architectures :func:`build_tabular_model` can assemble.
+TABULAR_ARCHITECTURES = ("hps", "mmoe", "cgc")
+
+
+def _linear_heads(width: int, tasks: Sequence[str], rng: np.random.Generator):
+    return {task: LinearHead(width, 1, rng) for task in tasks}
+
+
+def build_mlp_model(
+    architecture: str,
+    in_features: int,
+    hidden: Sequence[int],
+    tasks: Sequence[str],
+    seed: int = 0,
+) -> MTLModel:
+    """Any single-input architecture over MLP stages + linear heads.
+
+    The layer shapes match the synthetic benchmark's models; parameter
+    *values* come from ``default_rng(seed)`` and are normally overwritten
+    by a checkpoint load immediately after construction.
+    """
+    if architecture not in MLP_ARCHITECTURES:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; supported: {MLP_ARCHITECTURES}"
+        )
+    hidden = [int(width) for width in hidden]
+    if not hidden:
+        raise ValueError("hidden must be non-empty")
+    tasks = list(tasks)
+    rng = np.random.default_rng(seed)
+    out = hidden[-1]
+    heads = _linear_heads(out, tasks, rng)
+    if architecture == "hps":
+        return HardParameterSharing(MLPEncoder(in_features, hidden, rng), heads)
+    if architecture == "mmoe":
+        return MMoE(
+            lambda: MLPEncoder(in_features, hidden, rng),
+            num_experts=3,
+            heads=heads,
+            gate_in_features=in_features,
+            rng=rng,
+        )
+    if architecture == "cgc":
+        return CGC(
+            lambda: MLPEncoder(in_features, hidden, rng),
+            num_shared_experts=2,
+            num_task_experts=1,
+            heads=heads,
+            gate_in_features=in_features,
+            rng=rng,
+        )
+    if architecture == "cross_stitch":
+        factories = []
+        previous = in_features
+        for width in hidden:
+            factories.append(
+                lambda p=previous, w=width: Sequential(Linear(p, w, rng), ReLU())
+            )
+            previous = width
+        return CrossStitch(factories, heads)
+    if architecture == "mtan":
+        stages = []
+        previous = in_features
+        for width in hidden:
+            stages.append(Sequential(Linear(previous, width, rng), ReLU()))
+            previous = width
+        attention_factories = []
+        for i, width in enumerate(hidden):
+            prev = width if i == 0 else hidden[i - 1]
+            attention_factories.append(
+                lambda w=width, p=prev: VectorAttention(w, rng, previous_dim=p)
+            )
+        return MTAN(stages, attention_factories, heads)
+    # ple
+    return PLE(
+        [
+            lambda: MLPEncoder(in_features, hidden, rng),
+            lambda: MLP(out, [out], out, rng),
+        ],
+        num_shared_experts=2,
+        num_task_experts=1,
+        heads=heads,
+        gate_in_features=[in_features, out],
+        rng=rng,
+        gate_input_fn=lambda x: (
+            x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float64))
+        ),
+    )
+
+
+def build_tabular_model(
+    architecture: str,
+    field_sizes: Sequence[int],
+    embedding_dim: int,
+    hidden: Sequence[int],
+    tasks: Sequence[str],
+    seed: int = 0,
+) -> MTLModel:
+    """The AliExpress model family: categorical trunk + linear heads.
+
+    Input rows are integer field matrices ``(batch, len(field_sizes))``;
+    MMoE/CGC gates read the fields scaled into [0, 1) like the AliExpress
+    benchmark factories do.
+    """
+    if architecture not in TABULAR_ARCHITECTURES:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; supported: {TABULAR_ARCHITECTURES}"
+        )
+    field_sizes = [int(size) for size in field_sizes]
+    hidden = [int(width) for width in hidden]
+    tasks = list(tasks)
+    rng = np.random.default_rng(seed)
+
+    def _encoder() -> TabularEncoder:
+        return TabularEncoder(field_sizes, embedding_dim, hidden, rng)
+
+    def _gate_input(x) -> Tensor:
+        scaled = np.asarray(x, dtype=np.float64) / np.asarray(field_sizes)
+        return Tensor(scaled)
+
+    heads = _linear_heads(hidden[-1], tasks, rng)
+    if architecture == "hps":
+        return HardParameterSharing(_encoder(), heads)
+    if architecture == "mmoe":
+        return MMoE(
+            _encoder,
+            num_experts=3,
+            heads=heads,
+            gate_in_features=len(field_sizes),
+            rng=rng,
+            gate_input_fn=_gate_input,
+        )
+    return CGC(
+        _encoder,
+        num_shared_experts=2,
+        num_task_experts=1,
+        heads=heads,
+        gate_in_features=len(field_sizes),
+        rng=rng,
+        gate_input_fn=_gate_input,
+    )

@@ -42,7 +42,9 @@ from .tensor import (
     backward_multi,
     concat,
     register_multi_adjoint,
+    inference_mode,
     is_grad_enabled,
+    is_inference_mode,
     no_grad,
     stack,
     where,
@@ -67,7 +69,9 @@ __all__ = [
     "stack",
     "where",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "Module",
     "ModuleList",
     "Parameter",

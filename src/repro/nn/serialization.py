@@ -14,6 +14,8 @@ its contiguous buffers and every optimizer flat path stays valid.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -26,7 +28,13 @@ _META_KEY = "__checkpoint_meta__"
 
 
 def save_checkpoint(model: Module, path, metadata: dict | None = None) -> Path:
-    """Write the model's parameters (and JSON-serializable metadata) to ``path``."""
+    """Write the model's parameters (and JSON-serializable metadata) to ``path``.
+
+    Crash-safe: the archive is written to a temp file in the destination
+    directory, fsynced, then renamed over ``path`` — a crash mid-write
+    leaves any previous checkpoint intact and never a torn file under the
+    final name (same idiom as ``ShardCache.store``).
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -37,7 +45,21 @@ def save_checkpoint(model: Module, path, metadata: dict | None = None) -> Path:
     payload[_META_KEY] = np.frombuffer(
         json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(path, **payload)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

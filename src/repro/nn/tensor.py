@@ -35,7 +35,9 @@ __all__ = [
     "backward_multi",
     "register_multi_adjoint",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "unbroadcast",
     "unbroadcast_lead",
     "as_tensor",
@@ -46,6 +48,7 @@ __all__ = [
 
 
 _GRAD_ENABLED = True
+_INFERENCE = False
 
 
 @contextlib.contextmanager
@@ -60,9 +63,39 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+@contextlib.contextmanager
+def inference_mode():
+    """``no_grad`` plus an allocation-lean tensor construction fast path.
+
+    Inside this context every op result skips the full ``Tensor.__init__``
+    (no ``np.asarray`` revalidation, no graph bookkeeping at all): outputs
+    are bare data carriers with ``requires_grad=False`` and no ``_ctx`` /
+    ``_grad_fn`` / ``_prev`` state.  This is the serving forward path —
+    see :mod:`repro.serve` — where per-request Python overhead, not numpy
+    time, dominates small-batch latency.
+
+    Like :func:`no_grad` the switch is a module-level global, not
+    thread-local: do not run an inference forward concurrently with a
+    training forward in another thread of the same process.
+    """
+    global _GRAD_ENABLED, _INFERENCE
+    previous = (_GRAD_ENABLED, _INFERENCE)
+    _GRAD_ENABLED = False
+    _INFERENCE = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED, _INFERENCE = previous
+
+
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradients."""
     return _GRAD_ENABLED
+
+
+def is_inference_mode() -> bool:
+    """Return whether the :func:`inference_mode` fast path is active."""
+    return _INFERENCE
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -182,6 +215,20 @@ class Tensor:
     # Graph construction / backward
     # ------------------------------------------------------------------
     def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
+        if _INFERENCE:
+            # Serving fast path: op outputs are always fresh float64 numpy
+            # arrays, so skip __init__'s asarray revalidation and build the
+            # bare carrier directly (no graph state to populate either).
+            out = Tensor.__new__(Tensor)
+            out.data = data if type(data) is np.ndarray else np.asarray(data, dtype=np.float64)
+            out.grad = None
+            out.requires_grad = False
+            out._grad_fn = None
+            out._prev = ()
+            out._op = ""
+            out._retains = False
+            out._ctx = None
+            return out
         out = Tensor(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True

@@ -121,6 +121,30 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram, in place.
+
+        Bucket-wise addition — both histograms must share identical bucket
+        bounds (``ValueError`` otherwise).  Names and labels are *not*
+        required to match: merging exists precisely to aggregate sibling
+        series (e.g. per-scenario serving latencies into an overall view).
+        Returns ``self`` so merges chain.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(
+                f"can only merge another Histogram; got {type(other).__name__}"
+            )
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with mismatched buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        self.count += other.count
+        return self
+
     def percentile(self, p: float) -> float:
         """Bucket-resolution percentile estimate (e.g. ``percentile(99)``).
 

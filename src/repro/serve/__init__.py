@@ -1,0 +1,40 @@
+"""``repro.serve`` — high-throughput inference serving for trained MTL models.
+
+The training stack can fit MoCoGrad-balanced models fast; this package
+answers queries with them.  Four layers (see DESIGN.md, "Serving"):
+
+- **Fast path** — every served forward runs under
+  :func:`repro.nn.inference_mode`, which skips autograd graph construction
+  and adjoint bookkeeping entirely;
+- **Registry** (:mod:`repro.serve.registry`) — load models from
+  ``repro.nn.serialization`` checkpoints, reconstructing the architecture
+  from the checkpoint's embedded model spec;
+- **Micro-batcher** (:mod:`repro.serve.batcher`) — requests enqueue
+  individually; a worker thread coalesces them into one batched forward
+  under a configurable latency budget and scatters per-task outputs back
+  to per-request futures;
+- **Server facade** (:mod:`repro.serve.server`) — scenario-keyed routing
+  (e.g. the four AliExpress countries ES/FR/NL/US) to per-scenario or
+  shared models, configured through the ``serve_default_config`` dict
+  idiom, instrumented with :mod:`repro.obs` latency histograms, queue
+  gauges, and tracing spans.
+
+The single-request sequential path (:meth:`Server.predict_sequential`)
+is the reference oracle: batched serving is equivalence-tested against
+it to ≤ 1e-12 (``tests/serve/``), and ``benchmarks/bench_serve.py``
+gates batched-vs-unbatched throughput and the no-autograd forward in CI.
+"""
+
+from .batcher import BATCH_ROWS_BUCKETS, MicroBatcher
+from .registry import ModelRegistry, model_spec, save_model
+from .server import Server, serve_default_config
+
+__all__ = [
+    "BATCH_ROWS_BUCKETS",
+    "MicroBatcher",
+    "ModelRegistry",
+    "model_spec",
+    "save_model",
+    "Server",
+    "serve_default_config",
+]

@@ -1,0 +1,161 @@
+"""Model registry: checkpoint → ready-to-serve module, spec-driven.
+
+A *model spec* is the JSON-serializable recipe stored in a checkpoint's
+metadata under the ``"model"`` key::
+
+    {"builder": "mlp", "config": {"architecture": "hps", "in_features": 16,
+                                  "hidden": [24, 12], "tasks": ["task0"], "seed": 0}}
+
+:meth:`ModelRegistry.load` reads the checkpoint, looks the builder up,
+constructs a structurally identical module from the config, loads the saved
+parameter state over it, switches it to eval mode, and caches it by name.
+Built-in builders cover the repo's single-input families (see
+:mod:`repro.arch.factory`); serving a custom architecture means registering
+a builder for it with :meth:`ModelRegistry.register_builder`.
+
+:func:`save_model` is the producer half: it embeds the spec while writing
+the checkpoint, so a file saved with it is loadable with no code beyond
+``registry.load(path)``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Mapping
+
+from ..arch.factory import build_mlp_model, build_tabular_model
+from ..nn.module import Module
+from ..nn.serialization import load_state, save_checkpoint
+
+__all__ = ["ModelRegistry", "model_spec", "save_model"]
+
+_SPEC_KEY = "model"
+
+#: Builders every registry starts with: name → ``fn(**config) -> Module``.
+DEFAULT_BUILDERS: dict[str, Callable[..., Module]] = {
+    "mlp": build_mlp_model,
+    "tabular": build_tabular_model,
+}
+
+
+def model_spec(builder: str, **config) -> dict:
+    """Build the spec dict :func:`save_model` embeds in checkpoint metadata."""
+    if not builder:
+        raise ValueError("builder name must be non-empty")
+    return {"builder": builder, "config": dict(config)}
+
+
+def save_model(model: Module, path, spec: Mapping, metadata: Mapping | None = None) -> Path:
+    """Write a self-describing checkpoint: parameters + model spec.
+
+    ``spec`` comes from :func:`model_spec`; extra ``metadata`` entries are
+    stored alongside it (the ``"model"`` key is reserved for the spec).
+    """
+    if "builder" not in spec or "config" not in spec:
+        raise ValueError("spec must carry 'builder' and 'config' keys (see model_spec)")
+    payload = dict(metadata or {})
+    if _SPEC_KEY in payload:
+        raise ValueError(f"metadata key {_SPEC_KEY!r} is reserved for the model spec")
+    payload[_SPEC_KEY] = dict(spec)
+    return save_checkpoint(model, path, payload)
+
+
+class ModelRegistry:
+    """Named store of ready-to-serve models with spec-driven loading."""
+
+    def __init__(self) -> None:
+        self._builders: dict[str, Callable[..., Module]] = dict(DEFAULT_BUILDERS)
+        self._models: dict[str, Module] = {}
+        self._metadata: dict[str, dict] = {}
+        self._specs: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def register_builder(self, name: str, builder: Callable[..., Module]) -> None:
+        """Register ``builder(**config) -> Module`` under ``name``."""
+        if not name:
+            raise ValueError("builder name must be non-empty")
+        self._builders[name] = builder
+
+    def build(self, spec: Mapping) -> Module:
+        """Construct a fresh (un-restored) module from a model spec."""
+        builder_name = spec.get("builder")
+        builder = self._builders.get(builder_name)
+        if builder is None:
+            raise KeyError(
+                f"unknown model builder {builder_name!r}; registered: "
+                f"{sorted(self._builders)}"
+            )
+        return builder(**spec.get("config", {}))
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+    def load(self, path, name: str | None = None) -> Module:
+        """Reconstruct + restore the model checkpointed at ``path``.
+
+        The checkpoint must have been written by :func:`save_model` (its
+        metadata carries the model spec).  The restored model is switched
+        to eval mode and cached under ``name`` (default: the file stem).
+        """
+        path = Path(path)
+        state, metadata = load_state(path)
+        spec = metadata.get(_SPEC_KEY)
+        if not isinstance(spec, Mapping):
+            raise ValueError(
+                f"checkpoint {path} carries no model spec; save it with "
+                "repro.serve.save_model (or register the model directly via add())"
+            )
+        model = self.build(spec)
+        model.load_state_dict(state)
+        model.eval()
+        key = name if name is not None else path.stem
+        self._models[key] = model
+        self._metadata[key] = {k: v for k, v in metadata.items() if k != _SPEC_KEY}
+        self._specs[key] = dict(spec)
+        return model
+
+    def add(self, name: str, model: Module) -> Module:
+        """Register an already-constructed model (switched to eval mode)."""
+        if not name:
+            raise ValueError("model name must be non-empty")
+        model.eval()
+        self._models[name] = model
+        self._metadata.setdefault(name, {})
+        return model
+
+    def get(self, name: str) -> Module:
+        """Look a registered model up by name."""
+        try:
+            return self._models[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {name!r}; registered: {sorted(self._models)}"
+            ) from None
+
+    def metadata(self, name: str) -> dict:
+        """Extra (non-spec) checkpoint metadata stored when ``name`` loaded."""
+        self.get(name)
+        return dict(self._metadata.get(name, {}))
+
+    def spec(self, name: str) -> dict:
+        """The model spec ``name`` was loaded from (empty if added directly)."""
+        self.get(name)
+        return dict(self._specs.get(name, {}))
+
+    def names(self) -> list[str]:
+        """Registered model names, sorted."""
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelRegistry({len(self._models)} models, "
+            f"builders={sorted(self._builders)})"
+        )

@@ -1,0 +1,234 @@
+"""Scenario-routed serving facade over per-model micro-batchers.
+
+The AliExpress benchmark serves four country scenarios (ES/FR/NL/US);
+depending on the deployment each scenario may have its own fine-tuned
+model or several scenarios may share one.  :class:`Server` hides that
+topology: callers address requests by scenario key, and the facade routes
+to one :class:`~repro.serve.batcher.MicroBatcher` **per distinct model**
+— scenarios that share a model share its batcher, so their traffic
+coalesces into common batches while latency histograms stay labelled per
+scenario.
+
+Configuration follows the repo's config-dict idiom: a module-level
+``serve_default_config`` holds every knob with its default, callers pass
+a partial override dict, and unknown keys fail loudly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Mapping
+
+import numpy as np
+
+from ..arch.base import MTLModel
+from ..nn.tensor import inference_mode
+from ..obs.metrics import SECONDS_BUCKETS, Histogram
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
+from .batcher import BATCH_ROWS_BUCKETS, MicroBatcher
+
+__all__ = ["Server", "serve_default_config"]
+
+#: Every serving knob with its default; ``Server(config={...})`` overrides
+#: a subset, and unknown keys raise ``ValueError``.
+serve_default_config: dict = {
+    # Rows per coalesced batch before it ships.
+    "max_batch_size": 64,
+    # Latency budget (ms) from a batch's first request to its forward.
+    "max_wait_ms": 2.0,
+    # Scenario used when a request names none; None → only legal when the
+    # server has exactly one scenario.
+    "default_scenario": None,
+}
+
+
+def _merge_config(overrides: Mapping | None) -> dict:
+    config = dict(serve_default_config)
+    if overrides:
+        unknown = set(overrides) - set(config)
+        if unknown:
+            raise ValueError(
+                f"unknown serve config keys {sorted(unknown)}; "
+                f"known: {sorted(config)}"
+            )
+        config.update(overrides)
+    return config
+
+
+class Server:
+    """Route scenario-keyed requests to micro-batched models.
+
+    Parameters
+    ----------
+    models:
+        ``{scenario: model}`` — the routing table.  The same model object
+        may back several scenarios; it gets exactly one batcher (and one
+        worker thread), so cross-scenario traffic coalesces.  A bare
+        :class:`~repro.arch.base.MTLModel` is accepted as shorthand for
+        ``{"default": model}``.
+    config:
+        Partial override of :data:`serve_default_config`.
+    telemetry:
+        Receives per-scenario latency histograms, batch-size histograms,
+        queue-depth gauges, and the enqueue/coalesce/forward/scatter
+        spans; defaults to the shared no-op instance.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, MTLModel] | MTLModel,
+        config: Mapping | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> None:
+        if isinstance(models, MTLModel):
+            models = {"default": models}
+        if not models:
+            raise ValueError("Server needs at least one scenario → model entry")
+        self.config = _merge_config(config)
+        self.telemetry = telemetry
+        self._models: dict[str, MTLModel] = dict(models)
+        for model in self._models.values():
+            model.eval()
+        # One batcher per distinct model object: shared models coalesce.
+        batcher_by_model: dict[int, MicroBatcher] = {}
+        self._batchers: dict[str, MicroBatcher] = {}
+        for scenario, model in self._models.items():
+            batcher = batcher_by_model.get(id(model))
+            if batcher is None:
+                batcher = MicroBatcher(
+                    model,
+                    max_batch_size=self.config["max_batch_size"],
+                    max_wait_ms=self.config["max_wait_ms"],
+                    telemetry=telemetry,
+                )
+                batcher_by_model[id(model)] = batcher
+            self._batchers[scenario] = batcher
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def scenarios(self) -> list[str]:
+        """Served scenario keys, sorted."""
+        return sorted(self._batchers)
+
+    def _resolve(self, scenario: str | None) -> str:
+        if scenario is None:
+            scenario = self.config["default_scenario"]
+        if scenario is None:
+            if len(self._batchers) == 1:
+                return next(iter(self._batchers))
+            raise ValueError(
+                "request names no scenario and no default_scenario is "
+                f"configured; served scenarios: {self.scenarios()}"
+            )
+        if scenario not in self._batchers:
+            raise KeyError(
+                f"unknown scenario {scenario!r}; served: {self.scenarios()}"
+            )
+        return scenario
+
+    # ------------------------------------------------------------------
+    # Request paths
+    # ------------------------------------------------------------------
+    def submit(self, rows: np.ndarray, scenario: str | None = None) -> Future:
+        """Enqueue rows for a scenario; future resolves to ``{task: ndarray}``."""
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed Server")
+        scenario = self._resolve(scenario)
+        with self.telemetry.span("serve_enqueue", scenario=scenario):
+            return self._batchers[scenario].submit(rows, scenario=scenario)
+
+    def predict(self, rows: np.ndarray, scenario: str | None = None) -> dict[str, np.ndarray]:
+        """Blocking convenience wrapper: ``submit(...).result()``."""
+        return self.submit(rows, scenario).result()
+
+    def predict_sequential(
+        self, rows: np.ndarray, scenario: str | None = None
+    ) -> dict[str, np.ndarray]:
+        """Reference oracle: forward each row individually, no batching.
+
+        Bypasses the queue entirely — one single-row ``forward_all`` per
+        input row, outputs concatenated in order.  The batched path is
+        equivalence-tested against this (``tests/serve/``); it is also the
+        "unbatched" baseline in ``benchmarks/bench_serve.py``.
+        """
+        scenario = self._resolve(scenario)
+        model = self._models[scenario]
+        rows = np.asarray(rows)
+        if rows.ndim == 1:
+            rows = rows[np.newaxis, :]
+        per_row: list[dict[str, np.ndarray]] = []
+        with inference_mode():
+            for i in range(rows.shape[0]):
+                outputs = model.forward_all(rows[i : i + 1])
+                per_row.append({task: out.data for task, out in outputs.items()})
+        tasks = model.task_names
+        return {
+            task: np.concatenate([row[task] for row in per_row], axis=0)
+            for task in tasks
+        }
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Latency/batching digest from the telemetry registry.
+
+        Per-scenario request percentiles (bucket resolution, in seconds),
+        an ``overall`` series merged across scenarios via
+        :meth:`~repro.obs.metrics.Histogram.merge`, and batch-shape
+        aggregates.  Empty when telemetry is disabled.
+        """
+        if not self.telemetry.enabled:
+            return {}
+        registry = self.telemetry.registry
+        overall = Histogram("serve_request_seconds", (), SECONDS_BUCKETS)
+        scenarios: dict[str, dict] = {}
+        for scenario in self.scenarios():
+            histogram = registry.histogram(
+                "serve_request_seconds", scenario=scenario
+            )
+            overall.merge(histogram)
+            scenarios[scenario] = {
+                "requests": histogram.count,
+                "mean_seconds": histogram.mean,
+                "p50_seconds": histogram.percentile(50),
+                "p99_seconds": histogram.percentile(99),
+            }
+        rows = registry.histogram("serve_batch_rows", buckets=BATCH_ROWS_BUCKETS)
+        return {
+            "scenarios": scenarios,
+            "overall": {
+                "requests": overall.count,
+                "mean_seconds": overall.mean,
+                "p50_seconds": overall.percentile(50),
+                "p99_seconds": overall.percentile(99),
+            },
+            "batches": {
+                "count": rows.count,
+                "mean_rows": rows.mean,
+                "p99_rows": rows.percentile(99),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and join every batcher (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for batcher in {id(b): b for b in self._batchers.values()}.values():
+            batcher.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Server(scenarios={self.scenarios()}, {state})"

@@ -8,7 +8,7 @@ import numpy as np
 
 from ..arch.base import MTLModel
 from ..data.base import MULTI_INPUT, SINGLE_INPUT, ArrayDataset, TaskSpec
-from ..nn.tensor import no_grad
+from ..nn.tensor import inference_mode
 
 __all__ = ["evaluate_model", "collect_outputs"]
 
@@ -27,7 +27,7 @@ def collect_outputs(
     """Raw model outputs and targets for one task over a full dataset."""
     outputs, targets = [], []
     model.eval()
-    with no_grad():
+    with inference_mode():
         for idx in _batched_indices(len(dataset), batch_size):
             inputs, batch_targets = dataset.batch(idx)
             prediction = model.forward(inputs, task)

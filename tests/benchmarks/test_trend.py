@@ -75,6 +75,24 @@ class TestExtraction:
             "optim/train_step": 1.2,
         }
 
+    def test_serve_report_tracks_only_fast_paths(self, trend, tmp_path):
+        (tmp_path / "BENCH_serve.json").write_text(
+            json.dumps(
+                {
+                    "benchmark": "serve",
+                    "schema": 2,
+                    "results": [
+                        {"mode": "sequential", "speedup": 1.0},
+                        {"mode": "batched", "speedup": 3.5},
+                        {"mode": "graph", "speedup": 1.0},
+                        {"mode": "no_grad", "speedup": 1.6},
+                    ],
+                }
+            )
+        )
+        metrics = trend.collect_current(tmp_path)
+        assert metrics == {"serve/batched": 3.5, "serve/no_grad": 1.6}
+
     def test_trend_file_and_garbage_ignored(self, trend, tmp_path):
         _write_reports(tmp_path)
         (tmp_path / "BENCH_trend.json").write_text('{"schema": 1, "history": []}')

@@ -1,0 +1,105 @@
+"""The serving fast path: ``inference_mode`` vs ``no_grad`` vs training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential, Tensor, no_grad
+from repro.nn.tensor import inference_mode, is_inference_mode
+
+
+@pytest.fixture
+def model(rng):
+    return Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng))
+
+
+class TestSemantics:
+    def test_flag_toggles_and_restores(self):
+        assert not is_inference_mode()
+        with inference_mode():
+            assert is_inference_mode()
+            with inference_mode():  # nesting is fine
+                assert is_inference_mode()
+            assert is_inference_mode()
+        assert not is_inference_mode()
+
+    def test_flag_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with inference_mode():
+                raise RuntimeError("boom")
+        assert not is_inference_mode()
+
+    def test_outputs_carry_no_graph(self, model, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        with inference_mode():
+            out = model.forward(x)
+        assert out.requires_grad is False
+        assert out._grad_fn is None
+        assert out._prev == ()
+        assert out._ctx is None
+        assert out.grad is None
+
+    def test_matches_no_grad_bitwise(self, model, rng):
+        x = rng.standard_normal((5, 4))
+        with no_grad():
+            expected = model.forward(Tensor(x)).data
+        with inference_mode():
+            actual = model.forward(Tensor(x)).data
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_matches_training_forward_bitwise(self, model, rng):
+        x = rng.standard_normal((5, 4))
+        graph_out = model.forward(Tensor(x, requires_grad=True))
+        assert graph_out.requires_grad  # the training forward does build a graph
+        with inference_mode():
+            fast = model.forward(Tensor(x)).data
+        np.testing.assert_array_equal(fast, graph_out.data)
+
+    def test_training_unaffected_after_exit(self, model, rng):
+        with inference_mode():
+            model.forward(Tensor(rng.standard_normal((2, 4))))
+        x = Tensor(rng.standard_normal((2, 4)))
+        out = model.forward(x)
+        out.sum().backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_requires_grad_inputs_detached(self, rng):
+        w = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        with inference_mode():
+            out = x @ w
+        assert out.requires_grad is False
+        assert out._prev == ()
+
+
+class TestPerformance:
+    def test_forward_not_slower_than_graph_forward(self, rng):
+        # A smoke-level latency check (the real measurement lives in
+        # benchmarks/bench_serve.py): median fast-path forward must not be
+        # slower than the graph-building forward on a deep narrow model,
+        # where per-op bookkeeping dominates BLAS time.
+        import time
+
+        model = Sequential(
+            *[layer for _ in range(12) for layer in (Linear(16, 16, rng), ReLU())]
+        )
+        x = Tensor(rng.standard_normal((8, 16)))
+
+        def median_seconds(fn, repeats=30):
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            return sorted(times)[len(times) // 2]
+
+        def graph_forward():
+            model.forward(Tensor(x.data, requires_grad=True))
+
+        def fast_forward():
+            with inference_mode():
+                model.forward(x)
+
+        graph_forward(), fast_forward()  # warm-up
+        assert median_seconds(fast_forward) <= median_seconds(graph_forward) * 1.10

@@ -1,5 +1,8 @@
 """Tests for LR schedulers and checkpoint serialization."""
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -175,3 +178,65 @@ class TestSerialization:
         path = save_checkpoint(self._model(rng), tmp_path / "m.npz", metadata)
         _, loaded = load_state(path)
         assert loaded == metadata
+
+
+class TestAtomicCheckpoint:
+    """``save_checkpoint`` must never tear the file under its final name."""
+
+    def _model(self, rng):
+        return Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+
+    def test_interrupted_overwrite_keeps_previous_checkpoint(
+        self, rng, tmp_path, monkeypatch
+    ):
+        model = self._model(rng)
+        path = save_checkpoint(model, tmp_path / "m.npz", {"epoch": 1})
+        good = {k: v.copy() for k, v in model.state_dict().items()}
+
+        # Simulate a crash mid-write: the archiver emits a plausible
+        # prefix into its destination stream, then dies.
+        def torn_savez(fh, **payload):
+            fh.write(b"PK\x03\x04 half a zip archive")
+            raise KeyboardInterrupt
+
+        import repro.nn.serialization as serialization
+
+        monkeypatch.setattr(serialization.np, "savez_compressed", torn_savez)
+        for param in model.parameters():
+            param.data += 1.0
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(model, path, {"epoch": 2})
+
+        # The previous checkpoint is intact and no temp litter remains.
+        monkeypatch.undo()
+        state, metadata = load_state(path)
+        assert metadata == {"epoch": 1}
+        for name, value in state.items():
+            np.testing.assert_array_equal(value, good[name])
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_interrupted_first_write_leaves_nothing(self, rng, tmp_path, monkeypatch):
+        def torn_savez(fh, **payload):
+            raise OSError("disk full")
+
+        import repro.nn.serialization as serialization
+
+        monkeypatch.setattr(serialization.np, "savez_compressed", torn_savez)
+        with pytest.raises(OSError):
+            save_checkpoint(self._model(rng), tmp_path / "fresh.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tmp_file_written_in_destination_directory(self, rng, tmp_path, monkeypatch):
+        # Atomicity of os.replace requires same-filesystem temp files.
+        seen = {}
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen["src"] = src
+            return real_replace(src, dst)
+
+        import repro.nn.serialization as serialization
+
+        monkeypatch.setattr(serialization.os, "replace", spying_replace)
+        path = save_checkpoint(self._model(rng), tmp_path / "m.npz")
+        assert Path(seen["src"]).parent == path.parent

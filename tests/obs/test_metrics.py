@@ -165,3 +165,54 @@ class TestRegistry:
         registry.counter("a", task="1")
         names = [(s["name"], tuple(sorted(s["labels"].items()))) for s in registry.snapshot()]
         assert names == sorted(names)
+
+
+class TestHistogramMerge:
+    def _pair(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("latency", buckets=(1.0, 2.0, 4.0), shard="a")
+        b = registry.histogram("latency", buckets=(1.0, 2.0, 4.0), shard="b")
+        return a, b
+
+    def test_merge_adds_bucketwise(self):
+        a, b = self._pair()
+        for value in (0.5, 1.5, 3.0):
+            a.observe(value)
+        for value in (0.5, 9.0):
+            b.observe(value)
+        result = a.merge(b)
+        assert result is a  # merges chain
+        assert a.count == 5
+        assert a.sum == pytest.approx(14.5)
+        assert a.counts == [2, 1, 1, 1]  # le1, le2, le4, +inf
+        # The donor is untouched.
+        assert b.count == 2
+        assert b.counts == [1, 0, 0, 1]
+
+    def test_merge_preserves_percentiles(self):
+        a, b = self._pair()
+        a.observe(0.5)
+        b.observe(3.0)
+        b.observe(3.5)
+        a.merge(b)
+        assert a.percentile(50) == 4.0
+        assert a.percentile(0) == 1.0
+
+    def test_empty_merges_are_identity(self):
+        a, b = self._pair()
+        a.observe(1.0)
+        before = (list(a.counts), a.sum, a.count)
+        a.merge(b)
+        assert (list(a.counts), a.sum, a.count) == before
+
+    def test_mismatched_buckets_rejected(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("x", buckets=(1.0, 2.0))
+        b = registry.histogram("y", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="mismatched buckets"):
+            a.merge(b)
+
+    def test_non_histogram_rejected(self):
+        a, _ = self._pair()
+        with pytest.raises(TypeError, match="Histogram"):
+            a.merge(42)

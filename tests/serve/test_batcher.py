@@ -1,0 +1,188 @@
+"""MicroBatcher: equivalence vs the sequential oracle, coalescing, lifecycle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.arch.factory import build_mlp_model
+from repro.nn.tensor import inference_mode
+from repro.obs import Telemetry
+from repro.serve import BATCH_ROWS_BUCKETS, MicroBatcher
+
+IN_FEATURES = 5
+TASKS = ["a", "b", "c"]
+
+
+@pytest.fixture
+def model():
+    return build_mlp_model("hps", IN_FEATURES, [8, 6], TASKS, seed=0)
+
+
+def _oracle(model, rows):
+    """The batched result each request *should* get: its own lone forward."""
+    with inference_mode():
+        return {task: out.data for task, out in model.forward_all(rows).items()}
+
+
+class TestEquivalence:
+    def test_batched_matches_lone_forward(self, model, rng):
+        requests = [rng.standard_normal((n, IN_FEATURES)) for n in (1, 3, 2, 4, 1)]
+        with MicroBatcher(model, max_batch_size=64, max_wait_ms=100.0) as batcher:
+            futures = [batcher.submit(rows) for rows in requests]
+            results = [f.result(timeout=10) for f in futures]
+        for rows, result in zip(requests, results):
+            expected = _oracle(model, rows)
+            assert set(result) == set(TASKS)
+            for task in TASKS:
+                assert result[task].shape == expected[task].shape
+                np.testing.assert_allclose(
+                    result[task], expected[task], rtol=0, atol=1e-12
+                )
+
+    def test_single_row_submission_gets_one_row_back(self, model, rng):
+        row = rng.standard_normal(IN_FEATURES)
+        with MicroBatcher(model, max_wait_ms=0.0) as batcher:
+            result = batcher.submit(row).result(timeout=10)
+        for task in TASKS:
+            assert result[task].shape[0] == 1
+            np.testing.assert_allclose(
+                result[task], _oracle(model, row[np.newaxis, :])[task],
+                rtol=0, atol=1e-12,
+            )
+
+    def test_concurrent_clients_all_answered(self, model, rng):
+        inputs = [rng.standard_normal((2, IN_FEATURES)) for _ in range(40)]
+        futures = [None] * len(inputs)
+        with MicroBatcher(model, max_batch_size=16, max_wait_ms=5.0) as batcher:
+            def client(offset):
+                for i in range(offset, len(inputs), 4):
+                    futures[i] = batcher.submit(inputs[i])
+
+            threads = [threading.Thread(target=client, args=(t,)) for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [f.result(timeout=10) for f in futures]
+        for rows, result in zip(inputs, results):
+            np.testing.assert_allclose(
+                result["a"], _oracle(model, rows)["a"], rtol=0, atol=1e-12
+            )
+
+
+class TestCoalescing:
+    def test_requests_coalesce_under_latency_budget(self, model, rng):
+        telemetry = Telemetry()
+        # A generous budget: all 10 requests are enqueued long before the
+        # first batch's deadline, so they must land in very few batches.
+        with MicroBatcher(
+            model, max_batch_size=64, max_wait_ms=250.0, telemetry=telemetry
+        ) as batcher:
+            futures = [
+                batcher.submit(rng.standard_normal((1, IN_FEATURES)))
+                for _ in range(10)
+            ]
+            for future in futures:
+                future.result(timeout=10)
+        batches = telemetry.counter("serve_batches_total").value
+        assert batches < 10
+        rows = telemetry.registry.histogram(
+            "serve_batch_rows", buckets=BATCH_ROWS_BUCKETS
+        )
+        assert rows.sum == 10
+
+    def test_batch_closes_at_row_budget(self, model, rng):
+        telemetry = Telemetry()
+        with MicroBatcher(
+            model, max_batch_size=4, max_wait_ms=250.0, telemetry=telemetry
+        ) as batcher:
+            futures = [
+                batcher.submit(rng.standard_normal((1, IN_FEATURES)))
+                for _ in range(8)
+            ]
+            start = time.monotonic()
+            for future in futures:
+                future.result(timeout=10)
+            elapsed = time.monotonic() - start
+        # 8 single-row requests with a 4-row budget: batches ship on size,
+        # well before the 250 ms latency budget would force them out.
+        assert elapsed < 5.0
+        assert telemetry.counter("serve_requests_total", scenario="default").value == 8
+
+    def test_zero_wait_still_serves(self, model, rng):
+        with MicroBatcher(model, max_wait_ms=0.0) as batcher:
+            results = [
+                batcher.submit(rng.standard_normal((1, IN_FEATURES))).result(timeout=10)
+                for _ in range(5)
+            ]
+        assert all(set(r) == set(TASKS) for r in results)
+
+
+class TestLifecycle:
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(model, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(model, max_wait_ms=-1.0)
+
+    def test_bad_rows_rejected(self, model, rng):
+        with MicroBatcher(model) as batcher:
+            with pytest.raises(ValueError, match="rows"):
+                batcher.submit(rng.standard_normal((2, 3, 4)))
+            with pytest.raises(ValueError, match="rows"):
+                batcher.submit(np.empty((0, IN_FEATURES)))
+
+    def test_submit_after_close_rejected(self, model, rng):
+        batcher = MicroBatcher(model)
+        batcher.close()
+        batcher.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(rng.standard_normal(IN_FEATURES))
+
+    def test_close_drains_pending_requests(self, model, rng):
+        # Big latency budget: requests are still queued when close() lands;
+        # they must be answered (drained), not dropped.
+        batcher = MicroBatcher(model, max_batch_size=2, max_wait_ms=10_000.0)
+        futures = [
+            batcher.submit(rng.standard_normal((1, IN_FEATURES))) for _ in range(7)
+        ]
+        batcher.close()
+        for future in futures:
+            assert set(future.result(timeout=10)) == set(TASKS)
+
+    def test_forward_error_fails_futures_not_worker(self, model, rng):
+        class Exploding:
+            calls = 0
+
+            def forward_all(self, x):
+                Exploding.calls += 1
+                if Exploding.calls == 1:
+                    raise RuntimeError("boom")
+                return model.forward_all(x)
+
+        with MicroBatcher(Exploding(), max_wait_ms=0.0) as batcher:
+            failing = batcher.submit(rng.standard_normal((1, IN_FEATURES)))
+            with pytest.raises(RuntimeError, match="boom"):
+                failing.result(timeout=10)
+            # The worker survived the failed batch and serves the next one.
+            ok = batcher.submit(rng.standard_normal((1, IN_FEATURES)))
+            assert set(ok.result(timeout=10)) == set(TASKS)
+
+
+class TestTelemetry:
+    def test_spans_and_latency_histograms_recorded(self, model, rng):
+        telemetry = Telemetry()
+        with MicroBatcher(model, max_wait_ms=0.0, telemetry=telemetry) as batcher:
+            batcher.submit(
+                rng.standard_normal((2, IN_FEATURES)), scenario="ES"
+            ).result(timeout=10)
+        paths = telemetry.span_paths()
+        assert "serve_batch" in paths
+        assert "serve_batch/coalesce" in paths
+        assert "serve_batch/forward" in paths
+        assert "serve_batch/scatter" in paths
+        latency = telemetry.registry.histogram("serve_request_seconds", scenario="ES")
+        assert latency.count == 1
+        assert telemetry.counter("serve_requests_total", scenario="ES").value == 1

@@ -1,0 +1,150 @@
+"""Server facade: scenario routing, config idiom, oracle equivalence, stats."""
+
+import numpy as np
+import pytest
+
+from repro.arch.factory import build_mlp_model
+from repro.obs import Telemetry
+from repro.serve import Server, serve_default_config
+
+IN_FEATURES = 4
+TASKS = ["ctr", "cvr"]
+SCENARIOS = ("ES", "FR", "NL", "US")
+
+
+def _model(seed):
+    return build_mlp_model("hps", IN_FEATURES, [6, 5], TASKS, seed=seed)
+
+
+@pytest.fixture
+def per_scenario_models():
+    return {scenario: _model(i) for i, scenario in enumerate(SCENARIOS)}
+
+
+class TestConfig:
+    def test_defaults_applied(self):
+        with Server(_model(0)) as server:
+            assert server.config == serve_default_config
+            assert server.config is not serve_default_config
+
+    def test_partial_override(self):
+        with Server(_model(0), {"max_batch_size": 8}) as server:
+            assert server.config["max_batch_size"] == 8
+            assert server.config["max_wait_ms"] == serve_default_config["max_wait_ms"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown serve config"):
+            Server(_model(0), {"max_batch": 8})
+
+    def test_defaults_not_mutated(self):
+        before = dict(serve_default_config)
+        with Server(_model(0), {"max_wait_ms": 99.0}):
+            pass
+        assert serve_default_config == before
+
+
+class TestRouting:
+    def test_single_model_shorthand(self, rng):
+        with Server(_model(0)) as server:
+            assert server.scenarios() == ["default"]
+            result = server.predict(rng.standard_normal((3, IN_FEATURES)))
+            assert set(result) == set(TASKS)
+
+    def test_unknown_scenario_rejected(self, per_scenario_models, rng):
+        with Server(per_scenario_models) as server:
+            with pytest.raises(KeyError, match="unknown scenario"):
+                server.submit(rng.standard_normal((1, IN_FEATURES)), "DE")
+
+    def test_no_default_is_ambiguous(self, per_scenario_models, rng):
+        with Server(per_scenario_models) as server:
+            with pytest.raises(ValueError, match="default_scenario"):
+                server.submit(rng.standard_normal((1, IN_FEATURES)))
+
+    def test_configured_default_scenario(self, per_scenario_models, rng):
+        config = {"default_scenario": "FR"}
+        telemetry = Telemetry()
+        with Server(per_scenario_models, config, telemetry) as server:
+            server.predict(rng.standard_normal((1, IN_FEATURES)))
+        assert telemetry.counter("serve_requests_total", scenario="FR").value == 1
+
+    def test_scenarios_route_to_their_models(self, per_scenario_models, rng):
+        x = rng.standard_normal((3, IN_FEATURES))
+        with Server(per_scenario_models) as server:
+            results = {s: server.predict(x, s) for s in SCENARIOS}
+        # Different per-scenario weights ⇒ different outputs; each must
+        # match its own model's sequential oracle exactly.
+        with Server(per_scenario_models) as server:
+            for scenario in SCENARIOS:
+                oracle = server.predict_sequential(x, scenario)
+                for task in TASKS:
+                    np.testing.assert_allclose(
+                        results[scenario][task], oracle[task], rtol=0, atol=1e-12
+                    )
+        assert not np.allclose(results["ES"]["ctr"], results["US"]["ctr"])
+
+    def test_shared_model_gets_one_batcher(self):
+        model = _model(0)
+        with Server({"ES": model, "FR": model, "NL": _model(1)}) as server:
+            assert server._batchers["ES"] is server._batchers["FR"]
+            assert server._batchers["ES"] is not server._batchers["NL"]
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Server({})
+
+
+class TestOracleEquivalence:
+    def test_batched_predict_matches_sequential(self, per_scenario_models, rng):
+        inputs = {s: rng.standard_normal((7, IN_FEATURES)) for s in SCENARIOS}
+        with Server(per_scenario_models, {"max_wait_ms": 20.0}) as server:
+            futures = {s: server.submit(inputs[s], s) for s in SCENARIOS}
+            batched = {s: f.result(timeout=10) for s, f in futures.items()}
+            for scenario in SCENARIOS:
+                oracle = server.predict_sequential(inputs[scenario], scenario)
+                for task in TASKS:
+                    assert batched[scenario][task].shape == oracle[task].shape
+                    np.testing.assert_allclose(
+                        batched[scenario][task], oracle[task], rtol=0, atol=1e-12
+                    )
+
+    def test_sequential_accepts_single_row(self, rng):
+        with Server(_model(0)) as server:
+            row = rng.standard_normal(IN_FEATURES)
+            oracle = server.predict_sequential(row)
+            assert oracle[TASKS[0]].shape[0] == 1
+
+
+class TestStatsAndLifecycle:
+    def test_stats_digest(self, per_scenario_models, rng):
+        telemetry = Telemetry()
+        with Server(per_scenario_models, telemetry=telemetry) as server:
+            for _ in range(3):
+                for scenario in SCENARIOS:
+                    server.predict(rng.standard_normal((2, IN_FEATURES)), scenario)
+            stats = server.stats()
+        assert set(stats) == {"scenarios", "overall", "batches"}
+        assert set(stats["scenarios"]) == set(SCENARIOS)
+        for digest in stats["scenarios"].values():
+            assert digest["requests"] == 3
+            assert digest["p50_seconds"] <= digest["p99_seconds"]
+        # The overall series is the per-scenario histograms merged.
+        assert stats["overall"]["requests"] == 3 * len(SCENARIOS)
+        assert stats["batches"]["count"] >= 1
+        assert stats["batches"]["mean_rows"] >= 2.0
+
+    def test_stats_empty_without_telemetry(self):
+        with Server(_model(0)) as server:
+            assert server.stats() == {}
+
+    def test_submit_after_close_rejected(self, rng):
+        server = Server(_model(0))
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(rng.standard_normal((1, IN_FEATURES)))
+
+    def test_models_forced_to_eval(self):
+        model = _model(0)
+        model.train()
+        with Server(model):
+            assert model.training is False

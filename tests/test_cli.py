@@ -127,3 +127,46 @@ class TestTrainStreaming:
         assert main(["train", "--streaming", "--steps", "2", "--tasks", "2"]) == 0
         out = capsys.readouterr().out
         assert "cache hits=0 misses=0" in out
+
+
+class TestServe:
+    def test_serve_demo_reports_throughput_and_scenarios(self, capsys):
+        argv = [
+            "serve",
+            "--requests", "24",
+            "--rows", "2",
+            "--clients", "2",
+            "--scenarios", "ES,FR",
+            "--max-wait-ms", "1.0",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "served 24 requests × 2 rows" in out
+        assert "rows/s" in out
+        assert "batches:" in out
+        assert "ES: 12 requests" in out
+        assert "FR: 12 requests" in out
+
+    def test_serve_checkpoint_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "model.npz"
+        save_argv = [
+            "serve",
+            "--requests", "4",
+            "--scenarios", "ES",
+            "--save-checkpoint", str(path),
+        ]
+        assert main(save_argv) == 0
+        assert path.exists()
+        assert "saved self-describing checkpoint" in capsys.readouterr().out
+        load_argv = [
+            "serve",
+            "--requests", "4",
+            "--scenarios", "ES",
+            "--checkpoint", str(path),
+        ]
+        assert main(load_argv) == 0
+        assert "served 4 requests" in capsys.readouterr().out
+
+    def test_serve_rejects_empty_scenarios(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scenarios", ","])
