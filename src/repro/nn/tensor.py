@@ -26,6 +26,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
@@ -47,20 +48,34 @@ __all__ = [
 ]
 
 
-_GRAD_ENABLED = True
-_INFERENCE = False
+class _GradState(threading.local):
+    """Per-thread autograd switches.
+
+    Class attributes double as the defaults a fresh thread observes, so a
+    newly spawned thread starts with gradients enabled and inference off
+    regardless of what other threads are doing.  Thread-locality matters
+    in serving: :mod:`repro.serve` runs one batcher worker per model, and
+    each enters :func:`inference_mode` independently — with process-wide
+    globals, overlapping enter/exit from two threads can restore a stale
+    snapshot and wedge the whole process in inference mode.
+    """
+
+    grad_enabled = True
+    inference = False
+
+
+_STATE = _GradState()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph construction (this thread only)."""
+    previous = _STATE.grad_enabled
+    _STATE.grad_enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _STATE.grad_enabled = previous
 
 
 @contextlib.contextmanager
@@ -74,28 +89,27 @@ def inference_mode():
     see :mod:`repro.serve` — where per-request Python overhead, not numpy
     time, dominates small-batch latency.
 
-    Like :func:`no_grad` the switch is a module-level global, not
-    thread-local: do not run an inference forward concurrently with a
-    training forward in another thread of the same process.
+    Like :func:`no_grad` the switch is thread-local: entering it on one
+    thread (e.g. a serving worker) never affects forwards running on
+    other threads of the same process.
     """
-    global _GRAD_ENABLED, _INFERENCE
-    previous = (_GRAD_ENABLED, _INFERENCE)
-    _GRAD_ENABLED = False
-    _INFERENCE = True
+    previous = (_STATE.grad_enabled, _STATE.inference)
+    _STATE.grad_enabled = False
+    _STATE.inference = True
     try:
         yield
     finally:
-        _GRAD_ENABLED, _INFERENCE = previous
+        _STATE.grad_enabled, _STATE.inference = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations currently record gradients (this thread)."""
+    return _STATE.grad_enabled
 
 
 def is_inference_mode() -> bool:
-    """Return whether the :func:`inference_mode` fast path is active."""
-    return _INFERENCE
+    """Return whether the :func:`inference_mode` fast path is active (this thread)."""
+    return _STATE.inference
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -215,12 +229,17 @@ class Tensor:
     # Graph construction / backward
     # ------------------------------------------------------------------
     def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
-        if _INFERENCE:
-            # Serving fast path: op outputs are always fresh float64 numpy
+        if _STATE.inference:
+            # Serving fast path: op outputs are normally fresh float64 numpy
             # arrays, so skip __init__'s asarray revalidation and build the
             # bare carrier directly (no graph state to populate either).
+            # Non-float64 intermediates (e.g. from integer tabular inputs)
+            # still get the __init__ cast so serving dtype matches training.
             out = Tensor.__new__(Tensor)
-            out.data = data if type(data) is np.ndarray else np.asarray(data, dtype=np.float64)
+            if type(data) is np.ndarray and data.dtype == np.float64:
+                out.data = data
+            else:
+                out.data = np.asarray(data, dtype=np.float64)
             out.grad = None
             out.requires_grad = False
             out._grad_fn = None
@@ -230,7 +249,7 @@ class Tensor:
             out._ctx = None
             return out
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _STATE.grad_enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._prev = tuple(parents)
             out._op = op

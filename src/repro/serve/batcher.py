@@ -204,13 +204,21 @@ class MicroBatcher:
 
     def _dispatch(self, batch: list[_Request]) -> None:
         telemetry = self.telemetry
+        # Transition every future to RUNNING before doing work: a future
+        # that was cancelled while queued is dropped here, and the rest can
+        # no longer be cancelled, so the scatter loop's set_result cannot
+        # raise InvalidStateError and poison batch-mates.
+        batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        multi = len(batch) > 1
         try:
             with telemetry.span("serve_batch", requests=len(batch)):
                 with telemetry.span("coalesce"):
-                    if len(batch) == 1:
-                        inputs = batch[0].rows
-                    else:
+                    if multi:
                         inputs = np.concatenate([r.rows for r in batch], axis=0)
+                    else:
+                        inputs = batch[0].rows
                 with telemetry.span("forward"):
                     with inference_mode():
                         outputs = {
@@ -222,8 +230,13 @@ class MicroBatcher:
                     start = 0
                     for request in batch:
                         stop = start + request.rows.shape[0]
+                        # Copy per-request slices in coalesced batches so no
+                        # two callers alias the shared batch output buffer.
                         request.future.set_result(
-                            {task: out[start:stop] for task, out in outputs.items()}
+                            {
+                                task: out[start:stop].copy() if multi else out
+                                for task, out in outputs.items()
+                            }
                         )
                         telemetry.histogram(
                             "serve_request_seconds", scenario=request.scenario

@@ -1,10 +1,12 @@
 """The serving fast path: ``inference_mode`` vs ``no_grad`` vs training."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.nn import Linear, ReLU, Sequential, Tensor, no_grad
-from repro.nn.tensor import inference_mode, is_inference_mode
+from repro.nn.tensor import inference_mode, is_grad_enabled, is_inference_mode
 
 
 @pytest.fixture
@@ -71,6 +73,81 @@ class TestSemantics:
             out = x @ w
         assert out.requires_grad is False
         assert out._prev == ()
+
+    def test_fast_path_casts_non_float64_intermediates(self):
+        # An op yielding a non-float64 array (e.g. int/float32 intermediates
+        # from integer tabular inputs) must still get __init__'s float64
+        # cast on the fast path, so serving dtype matches the graph path.
+        t = Tensor(np.zeros((2, 3)))
+        with inference_mode():
+            out = t._make_child(np.ones((2, 3), dtype=np.float32), (t,), "test")
+        assert out.data.dtype == np.float64
+
+
+class TestThreadLocality:
+    def test_flags_are_per_thread(self, model, rng):
+        # A serving worker inside inference_mode must not flip the switches
+        # for other threads of the same process.
+        entered = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def worker():
+            try:
+                with inference_mode():
+                    entered.set()
+                    assert release.wait(timeout=10)
+                    assert is_inference_mode()
+                    assert not is_grad_enabled()
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert entered.wait(timeout=10)
+            # The caller thread still builds graphs mid-context.
+            assert not is_inference_mode()
+            assert is_grad_enabled()
+            x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+            assert model.forward(x).requires_grad
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        assert not errors
+
+    def test_overlapping_contexts_on_two_threads_restore_cleanly(self):
+        # Regression: with process-global flags, interleaved enter/exit from
+        # two threads restored a stale snapshot and wedged the process in
+        # inference mode.  Thread-local state makes the order irrelevant.
+        barrier = threading.Barrier(2, timeout=10)
+        errors = []
+
+        def worker(hold: threading.Event, advance: threading.Event):
+            try:
+                barrier.wait()
+                with inference_mode():
+                    hold.set()
+                    assert advance.wait(timeout=10)
+                assert not is_inference_mode()
+                assert is_grad_enabled()
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        a_in, a_go = threading.Event(), threading.Event()
+        b_in, b_go = threading.Event(), threading.Event()
+        a = threading.Thread(target=worker, args=(a_in, a_go))
+        b = threading.Thread(target=worker, args=(b_in, b_go))
+        a.start(), b.start()
+        # Both enter, then A exits while B is still inside, then B exits.
+        assert a_in.wait(timeout=10) and b_in.wait(timeout=10)
+        a_go.set()
+        a.join(timeout=10)
+        b_go.set()
+        b.join(timeout=10)
+        assert not errors
+        assert not is_inference_mode()
+        assert is_grad_enabled()
 
 
 class TestPerformance:

@@ -152,6 +152,35 @@ class TestLifecycle:
         for future in futures:
             assert set(future.result(timeout=10)) == set(TASKS)
 
+    def test_cancelled_request_does_not_poison_batch_mates(self, model, rng):
+        # A caller cancelling its pending future must not fail the other
+        # requests coalesced into the same batch.  The huge latency budget
+        # keeps the batch open until close() forces it out, guaranteeing
+        # the cancel lands while the future is still pending.
+        batcher = MicroBatcher(model, max_batch_size=64, max_wait_ms=10_000.0)
+        victim = batcher.submit(rng.standard_normal((1, IN_FEATURES)))
+        survivors = [
+            batcher.submit(rng.standard_normal((1, IN_FEATURES))) for _ in range(3)
+        ]
+        assert victim.cancel()
+        batcher.close()
+        assert victim.cancelled()
+        for future in survivors:
+            assert set(future.result(timeout=10)) == set(TASKS)
+
+    def test_results_do_not_alias_across_requests(self, model, rng):
+        # Coalesced requests must not share one output buffer: a caller
+        # mutating its result in place must not corrupt batch-mates.
+        inputs = [rng.standard_normal((2, IN_FEATURES)) for _ in range(4)]
+        with MicroBatcher(model, max_batch_size=64, max_wait_ms=100.0) as batcher:
+            futures = [batcher.submit(rows) for rows in inputs]
+            results = [f.result(timeout=10) for f in futures]
+        results[0]["a"][:] = np.nan
+        for rows, result in zip(inputs[1:], results[1:]):
+            np.testing.assert_allclose(
+                result["a"], _oracle(model, rows)["a"], rtol=0, atol=1e-12
+            )
+
     def test_forward_error_fails_futures_not_worker(self, model, rng):
         class Exploding:
             calls = 0
